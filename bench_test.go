@@ -1,0 +1,234 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the SLUGGER paper's evaluation (see DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured shapes).
+//
+// Benchmarks run the experiment drivers at a reduced dataset scale so
+// that `go test -bench=. -benchmem` completes on a laptop; pass
+// -scale via cmd/experiments for larger reproductions. Key quantities
+// are attached to each benchmark via ReportMetric.
+package repro
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+)
+
+// benchOpt returns experiment options sized for benchmarking.
+func benchOpt() experiments.Options {
+	return experiments.Options{Scale: 0.06, Seed: 7, Trials: 1, T: 10, Out: io.Discard}
+}
+
+// BenchmarkFig5aRelativeSize regenerates Fig. 1(a)/5(a): relative
+// output size of the 5 algorithms on all 16 datasets. The reported
+// metrics are SLUGGER's mean relative size and its mean ratio to SWeG
+// (paper: SLUGGER smallest everywhere, up to 29.6% smaller than SWeG).
+func BenchmarkFig5aRelativeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5a(benchOpt())
+		var slugger, ratio float64
+		n := 0
+		for _, row := range res {
+			s := row["Slugger"].RelativeSize
+			w := row["SWeG"].RelativeSize
+			slugger += s
+			if w > 0 {
+				ratio += s / w
+			}
+			n++
+		}
+		b.ReportMetric(slugger/float64(n), "slugger-rel-size")
+		b.ReportMetric(ratio/float64(n), "slugger/sweg-ratio")
+	}
+}
+
+// BenchmarkFig5bRuntime regenerates Fig. 5(b): wall-clock comparison of
+// the 5 algorithms (paper: SLUGGER comparable to SWeG, SAGS fastest).
+func BenchmarkFig5bRuntime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5b(benchOpt())
+		var vsSweg float64
+		n := 0
+		for _, row := range res {
+			if s := row["Slugger"].Elapsed; s > 0 {
+				vsSweg += float64(row["SWeG"].Elapsed) / float64(s)
+				n++
+			}
+		}
+		b.ReportMetric(vsSweg/float64(n), "sweg/slugger-time")
+	}
+}
+
+// BenchmarkFig1bScalability regenerates Fig. 1(b): SLUGGER's runtime on
+// node-sampled subgraphs at 6 sizes (paper: linear in |E|). The R^2 of
+// the linear fit is reported; values near 1 confirm linear scaling.
+func BenchmarkFig1bScalability(b *testing.B) {
+	opt := benchOpt()
+	opt.Scale = 0.12
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig1b(opt)
+		b.ReportMetric(experiments.LinearFitR2(pts), "linear-fit-r2")
+	}
+}
+
+// BenchmarkTable3Iterations regenerates Table III on four datasets:
+// relative size as T grows over {1,5,10,20,40,80} (paper: monotone
+// decreasing, near-converged by T=40).
+func BenchmarkTable3Iterations(b *testing.B) {
+	opt := benchOpt()
+	names := []string{"PR", "FA", "CN", "EU"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(opt, names)
+		var t1, t80 float64
+		for _, row := range res {
+			t1 += row[0]
+			t80 += row[len(row)-1]
+		}
+		b.ReportMetric(t1/float64(len(res)), "rel-size-T1")
+		b.ReportMetric(t80/float64(len(res)), "rel-size-T80")
+	}
+}
+
+// BenchmarkTable4Pruning regenerates Table IV on four datasets:
+// relative size, max height and average leaf depth after each pruning
+// substep (paper: every substep non-increasing, substep 1 largest).
+func BenchmarkTable4Pruning(b *testing.B) {
+	opt := benchOpt()
+	names := []string{"PR", "FA", "CN", "EU"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4(opt, names)
+		var before, after float64
+		for _, rows := range res {
+			before += rows[0].RelativeSize
+			after += rows[3].RelativeSize
+		}
+		b.ReportMetric(before/float64(len(res)), "rel-size-substep0")
+		b.ReportMetric(after/float64(len(res)), "rel-size-substep3")
+	}
+}
+
+// BenchmarkTable5Height regenerates Table V on four datasets: the
+// effect of the height bound Hb in {2,5,7,10,inf} (paper: deeper
+// hierarchies compress better; Hb=10 close to unbounded).
+func BenchmarkTable5Height(b *testing.B) {
+	opt := benchOpt()
+	names := []string{"PR", "FA", "CN", "EU"}
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table5(opt, names)
+		var hb2, inf float64
+		for _, rows := range res {
+			hb2 += rows[0].RelativeSize
+			inf += rows[len(rows)-1].RelativeSize
+		}
+		b.ReportMetric(hb2/float64(len(res)), "rel-size-hb2")
+		b.ReportMetric(inf/float64(len(res)), "rel-size-inf")
+	}
+}
+
+// BenchmarkFig6Composition regenerates Fig. 6: the p/n/h edge-type
+// shares of SLUGGER's outputs (paper: p-edges or h-edges dominate,
+// n-edges small except PR).
+func BenchmarkFig6Composition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(benchOpt())
+		var p, n, h float64
+		for _, c := range res {
+			p += c.PShare
+			n += c.NShare
+			h += c.HShare
+		}
+		k := float64(len(res))
+		b.ReportMetric(p/k, "p-share")
+		b.ReportMetric(n/k, "n-share")
+		b.ReportMetric(h/k, "h-share")
+	}
+}
+
+// BenchmarkNeighborQuery regenerates the Sect. VIII-B measurement: the
+// per-vertex neighbor-query latency on a SLUGGER summary via partial
+// decompression (paper: microseconds, correlated with avg leaf depth).
+func BenchmarkNeighborQuery(b *testing.B) {
+	spec, _ := datasets.ByName("FA")
+	g := spec.Generate(0.2, 7)
+	sum, _ := core.Summarize(g, core.Config{T: 10, Seed: 7})
+	n := int32(sum.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum.NeighborsOf(int32(i) % n)
+	}
+}
+
+// BenchmarkAlgosOnSummary regenerates Sect. VIII-C: BFS, PageRank,
+// Dijkstra and triangle counting on a summary versus the raw graph.
+func BenchmarkAlgosOnSummary(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		res := experiments.AlgorithmsOnSummary(opt, "FA")
+		agree := 1.0
+		for _, r := range res {
+			if !r.Agrees {
+				agree = 0
+			}
+		}
+		b.ReportMetric(agree, "all-agree")
+	}
+}
+
+// BenchmarkTheorem1Conciseness exercises the Fig. 3 construction:
+// hierarchical versus flat encoding cost (paper: the hierarchical model
+// is asymptotically more concise).
+func BenchmarkTheorem1Conciseness(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Theorem1(opt, 20, 3)
+		b.ReportMetric(float64(res.FlatCost)/float64(res.HierarchicalCost), "flat/hier-ratio")
+	}
+}
+
+// BenchmarkAblation exercises the design-choice ablation (DESIGN.md §4):
+// full SLUGGER versus no-pruning, T=1, tiny candidate sets and a flat
+// hierarchy, on the PR analogue where the choices matter most.
+func BenchmarkAblation(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablation(opt, "PR")
+		for _, r := range rows {
+			switch r.Config {
+			case "full (paper defaults)":
+				b.ReportMetric(r.RelativeSize, "rel-size-full")
+			case "no pruning":
+				b.ReportMetric(r.RelativeSize, "rel-size-noprune")
+			}
+		}
+	}
+}
+
+// BenchmarkLossyExtension sweeps the bounded-error sparsification
+// extension: relative size at eps = 0 and eps = 0.5.
+func BenchmarkLossyExtension(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Lossy(opt, "PR")
+		b.ReportMetric(rows[0].RelativeSize, "rel-size-eps0")
+		b.ReportMetric(rows[len(rows)-1].RelativeSize, "rel-size-eps1")
+	}
+}
+
+// BenchmarkSluggerEndToEnd measures raw summarization throughput on a
+// mid-size hierarchical graph (edges per second appears as the inverse
+// of ns/op via the reported edges metric).
+func BenchmarkSluggerEndToEnd(b *testing.B) {
+	g := graph.HierCommunity(graph.HierParams{
+		Levels: 2, Branching: 6, LeafSize: 8,
+		Density: []float64{0.01, 0.15, 0.8},
+	}, 7)
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Summarize(g, core.Config{T: 10, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,86 @@
+// Command experiments regenerates the SLUGGER paper's tables and
+// figures on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	experiments -run all [-scale 0.2] [-trials 1] [-t 20] [-seed 0]
+//	experiments -run fig5a,table3 -datasets PR,FA
+//
+// Available experiments: fig5a fig5b fig1b table3 table4 table5 fig6
+// decomp algos theorem1 (or "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale    = flag.Float64("scale", 0.2, "dataset scale factor (1.0 = default analogue size)")
+		trials   = flag.Int("trials", 1, "trials averaged per measurement (paper: 5)")
+		t        = flag.Int("t", 20, "iterations T for SLUGGER and SWeG")
+		seed     = flag.Int64("seed", 0, "base random seed")
+		dataList = flag.String("datasets", "", "restrict table experiments to these datasets (comma-separated)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:  *scale,
+		Seed:   *seed,
+		Trials: *trials,
+		T:      *t,
+		Out:    os.Stdout,
+	}
+	var names []string
+	if *dataList != "" {
+		names = strings.Split(*dataList, ",")
+	}
+
+	want := map[string]bool{}
+	if *run == "all" {
+		for _, id := range experiments.Names() {
+			want[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	ran := 0
+	maybe := func(id string, f func()) {
+		if want[id] {
+			f()
+			fmt.Println()
+			ran++
+		}
+	}
+	maybe("fig5a", func() { experiments.Fig5a(opt) })
+	maybe("fig5b", func() { experiments.Fig5b(opt) })
+	maybe("fig1b", func() {
+		pts := experiments.Fig1b(opt)
+		fmt.Printf("linear fit R^2 = %.4f\n", experiments.LinearFitR2(pts))
+	})
+	maybe("table3", func() { experiments.Table3(opt, names) })
+	maybe("table4", func() { experiments.Table4(opt, names) })
+	maybe("table5", func() { experiments.Table5(opt, names) })
+	maybe("fig6", func() { experiments.Fig6(opt) })
+	maybe("decomp", func() { experiments.Decompression(opt, names) })
+	maybe("algos", func() { experiments.AlgorithmsOnSummary(opt, "FA") })
+	maybe("theorem1", func() { experiments.Theorem1(opt, 24, 3) })
+	maybe("ablation", func() { experiments.Ablation(opt, "PR") })
+	maybe("lossy", func() { experiments.Lossy(opt, "PR") })
+	maybe("bytes", func() { experiments.Bytes(opt, names) })
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment(s) %q; available: %s all\n",
+			*run, strings.Join(experiments.Names(), " "))
+		os.Exit(2)
+	}
+}

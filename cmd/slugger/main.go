@@ -1,0 +1,107 @@
+// Command slugger summarizes an edge-list graph with the SLUGGER
+// algorithm and reports the hierarchical summary's statistics.
+//
+// Usage:
+//
+//	slugger -in graph.txt [-t 20] [-hb 0] [-seed 0] [-validate] [-v]
+//
+// The input format is one "u v" pair per line ('#'/'%' comments
+// allowed). With -validate the summary is decoded and compared
+// edge-for-edge against the input (slow on large graphs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("slugger: ")
+
+	var (
+		in       = flag.String("in", "", "input edge-list file (required unless -load)")
+		t        = flag.Int("t", 20, "number of merging iterations T")
+		hb       = flag.Int("hb", 0, "height bound Hb (0 = unbounded)")
+		seed     = flag.Int64("seed", 0, "random seed")
+		validate = flag.Bool("validate", false, "decode the summary and verify losslessness")
+		verbose  = flag.Bool("v", false, "print per-iteration progress")
+		workers  = flag.Int("workers", 1, "concurrent partner evaluations (1 = serial; any value gives identical output)")
+		save     = flag.String("save", "", "write the summary to this file (binary)")
+		load     = flag.String("load", "", "load a saved summary and report its statistics")
+		decodeTo = flag.String("decode", "", "decode the summary back to an edge-list file")
+	)
+	flag.Parse()
+	if *load != "" {
+		sum, err := model.Load(*load)
+		if err != nil {
+			log.Fatalf("loading summary: %v", err)
+		}
+		fmt.Printf("summary: %d vertices, %d supernodes, |P+|=%d |P-|=%d |H|=%d, cost=%d\n",
+			sum.N, sum.NumSupernodes(), sum.PCount(), sum.NCount(), sum.HCount(), sum.Cost())
+		fmt.Printf("hierarchy: max height %d, avg leaf depth %.2f\n",
+			sum.MaxHeight(), sum.AvgLeafDepth())
+		if *decodeTo != "" {
+			if err := graph.SaveEdgeList(*decodeTo, sum.Decode()); err != nil {
+				log.Fatalf("decoding: %v", err)
+			}
+			fmt.Printf("decoded graph written to %s\n", *decodeTo)
+		}
+		return
+	}
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := graph.LoadEdgeList(*in)
+	if err != nil {
+		log.Fatalf("loading %s: %v", *in, err)
+	}
+	fmt.Printf("input: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	cfg := core.Config{T: *t, Hb: *hb, Seed: *seed, Workers: *workers}
+	if *verbose {
+		cfg.OnIteration = func(iter int, cost int64) {
+			fmt.Printf("  iteration %2d: cost %d (%.3f relative)\n",
+				iter, cost, float64(cost)/float64(g.NumEdges()))
+		}
+	}
+	start := time.Now()
+	sum, stats := core.Summarize(g, cfg)
+	elapsed := time.Since(start)
+
+	fmt.Printf("summary: %d supernodes, |P+|=%d |P-|=%d |H|=%d\n",
+		sum.NumSupernodes(), sum.PCount(), sum.NCount(), sum.HCount())
+	fmt.Printf("cost: %d (relative size %.4f), merges=%d, pre-prune cost=%d\n",
+		sum.Cost(), sum.RelativeSize(g.NumEdges()), stats.Merges, stats.CostBeforePrune)
+	fmt.Printf("hierarchy: max height %d, avg leaf depth %.2f\n",
+		sum.MaxHeight(), sum.AvgLeafDepth())
+	fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))
+
+	if *validate {
+		if err := sum.Validate(g); err != nil {
+			log.Fatalf("validation FAILED: %v", err)
+		}
+		fmt.Println("validation: OK (lossless)")
+	}
+	if *save != "" {
+		if err := sum.Save(*save); err != nil {
+			log.Fatalf("saving summary: %v", err)
+		}
+		fmt.Printf("summary written to %s\n", *save)
+	}
+	if *decodeTo != "" {
+		if err := graph.SaveEdgeList(*decodeTo, sum.Decode()); err != nil {
+			log.Fatalf("decoding: %v", err)
+		}
+		fmt.Printf("decoded graph written to %s\n", *decodeTo)
+	}
+}

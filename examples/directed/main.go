@@ -1,0 +1,59 @@
+// Directed: hierarchical summarization of a directed citation-style
+// graph through the bipartite double-cover reduction (the directed
+// extension the paper notes in Sect. II), with out/in-neighbor queries
+// answered straight from the summary.
+//
+// Run with:
+//
+//	go run ./examples/directed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/digraph"
+)
+
+func main() {
+	// A citation-like DAG: 20 "survey" papers cited by everyone in
+	// their area, plus sparse cross-citations.
+	rng := rand.New(rand.NewSource(9))
+	var edges [][2]int32
+	const areas, surveysPer, papersPer = 4, 5, 40
+	nodeOf := func(area, idx int) int32 { return int32(area*(surveysPer+papersPer) + idx) }
+	for area := 0; area < areas; area++ {
+		for p := surveysPer; p < surveysPer+papersPer; p++ {
+			for s := 0; s < surveysPer; s++ {
+				edges = append(edges, [2]int32{nodeOf(area, p), nodeOf(area, s)})
+			}
+			// A few random cross-area citations.
+			if rng.Intn(3) == 0 {
+				other := rng.Intn(areas)
+				edges = append(edges, [2]int32{nodeOf(area, p), nodeOf(other, rng.Intn(surveysPer))})
+			}
+		}
+	}
+	d := digraph.FromEdges(0, edges)
+	fmt.Printf("citation graph: %d papers, %d directed citations\n",
+		d.NumNodes(), d.NumEdges())
+
+	summary, stats := digraph.Summarize(d, core.Config{T: 20, Seed: 2})
+	fmt.Printf("summary cost: %d (%.1f%% of the directed edge count), %d merges\n",
+		summary.Cost(), 100*summary.RelativeSize(d.NumEdges()), stats.Merges)
+
+	// Queries straight from the summary.
+	paper := nodeOf(0, surveysPer) // first regular paper of area 0
+	fmt.Printf("\npaper %d cites (from summary):    %v\n", paper, summary.OutNeighbors(paper))
+	fmt.Printf("paper %d cites (from graph):      %v\n", paper, d.Out(paper))
+	survey := nodeOf(0, 0)
+	fmt.Printf("survey %d cited by %d papers (summary) vs %d (graph)\n",
+		survey, len(summary.InNeighbors(survey)), len(d.In(survey)))
+
+	if err := summary.Validate(d); err != nil {
+		log.Fatalf("losslessness violated: %v", err)
+	}
+	fmt.Println("\nvalidation: every directed edge reproduced exactly ✓")
+}

@@ -1,0 +1,68 @@
+// Webcompress: compress a hyperlink-style graph (a union of complete
+// bipartite "web communities" plus noise, the structure that dominates
+// real web graphs) with all five summarizers from the paper and compare
+// output sizes and runtimes — a miniature of Fig. 5.
+//
+// Run with:
+//
+//	go run ./examples/webcompress
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/baselines/mosso"
+	"repro/internal/baselines/randomized"
+	"repro/internal/baselines/sags"
+	"repro/internal/baselines/sweg"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	// 40 bipartite cores of 12x16 pages plus 2000 noise hyperlinks.
+	g := graph.BipartiteCores(40, 12, 16, 2000, 7)
+	fmt.Printf("hyperlink graph: %d pages, %d links\n\n", g.NumNodes(), g.NumEdges())
+
+	type result struct {
+		name    string
+		cost    int64
+		elapsed time.Duration
+	}
+	var results []result
+	measure := func(name string, f func() int64) {
+		start := time.Now()
+		cost := f()
+		results = append(results, result{name, cost, time.Since(start)})
+	}
+
+	measure("Slugger", func() int64 {
+		s, _ := core.Summarize(g, core.Config{T: 20, Seed: 3})
+		return s.Cost()
+	})
+	measure("SWeG", func() int64 { return sweg.Summarize(g, 3, sweg.Config{T: 20}).Cost() })
+	measure("MoSSo", func() int64 { return mosso.Summarize(g, 3, mosso.Config{}).Cost() })
+	measure("Randomized", func() int64 { return randomized.Summarize(g, 3).Cost() })
+	measure("SAGS", func() int64 { return sags.Summarize(g, 3, sags.Config{}).Cost() })
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "algorithm\tcost\trelative size\ttime")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%s\n",
+			r.name, r.cost, float64(r.cost)/float64(g.NumEdges()),
+			r.elapsed.Round(time.Millisecond))
+	}
+	w.Flush()
+
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.cost < best.cost {
+			best = r
+		}
+	}
+	fmt.Printf("\nmost concise: %s (%.1f%% of the input size)\n",
+		best.name, 100*float64(best.cost)/float64(g.NumEdges()))
+}

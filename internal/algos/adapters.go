@@ -1,0 +1,18 @@
+package algos
+
+import (
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Raw adapts a raw graph to the NeighborSource interface.
+func Raw(g *graph.Graph) NeighborSource {
+	return FromFuncs(g.NumNodes(), g.Neighbors)
+}
+
+// OnSummary adapts a hierarchical summary: every Neighbors call
+// partially decompresses the model around the queried vertex
+// (Algorithm 4), so algorithms run without materializing the graph.
+func OnSummary(s *model.Summary) NeighborSource {
+	return FromFuncs(s.N, s.NeighborsOf)
+}

@@ -1,0 +1,263 @@
+// Package algos implements the unweighted graph algorithms of
+// Sect. VIII-C of the SLUGGER paper — BFS, DFS, PageRank, Dijkstra
+// (unit weights) and triangle counting — over a NeighborSource
+// abstraction, so that each algorithm runs identically on a raw
+// graph.Graph and on a hierarchical model.Summary via on-the-fly
+// partial decompression (Algorithm 4).
+package algos
+
+import "sort"
+
+// NeighborSource is the only access graph algorithms need: the vertex
+// count and per-vertex neighbor retrieval. *graph.Graph satisfies it
+// via an adapter (Raw); *model.Summary satisfies it via OnSummary.
+type NeighborSource interface {
+	NumNodes() int
+	// Neighbors returns the neighbors of v. The result may alias
+	// internal storage and is only valid until the next call.
+	Neighbors(v int32) []int32
+}
+
+// rawGraph adapts anything with the graph.Graph method set.
+type rawGraph struct {
+	n   int
+	nbr func(v int32) []int32
+}
+
+func (r rawGraph) NumNodes() int             { return r.n }
+func (r rawGraph) Neighbors(v int32) []int32 { return r.nbr(v) }
+
+// FromFuncs builds a NeighborSource from a vertex count and a
+// neighbor function.
+func FromFuncs(n int, nbr func(v int32) []int32) NeighborSource {
+	return rawGraph{n: n, nbr: nbr}
+}
+
+// BFS returns the vertices reachable from src in breadth-first order.
+func BFS(g NeighborSource, src int32) []int32 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	queue := []int32{src}
+	visited[src] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, w := range g.Neighbors(v) {
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return order
+}
+
+// DFS returns the vertices reachable from src in (iterative)
+// depth-first preorder, visiting neighbors in ascending order
+// (Algorithm 5 of the paper, made iterative).
+func DFS(g NeighborSource, src int32) []int32 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	stack := []int32{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		order = append(order, v)
+		nbrs := g.Neighbors(v)
+		// Push in reverse sorted order so the smallest is visited first.
+		sorted := append([]int32(nil), nbrs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		for _, w := range sorted {
+			if !visited[w] {
+				stack = append(stack, w)
+			}
+		}
+	}
+	return order
+}
+
+// ConnectedComponents returns a component id per vertex and the number
+// of components.
+func ConnectedComponents(g NeighborSource) ([]int32, int) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	for v := 0; v < n; v++ {
+		if comp[v] >= 0 {
+			continue
+		}
+		queue := []int32{int32(v)}
+		comp[v] = next
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(x) {
+				if comp[w] < 0 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// PageRank runs T power iterations with damping factor d on the
+// undirected graph (Algorithm 6 of the paper). Dangling mass is
+// redistributed uniformly; the result sums to 1 for non-empty graphs.
+func PageRank(g NeighborSource, d float64, T int) []float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for t := 0; t < T; t++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(int32(v))
+			if len(nbrs) == 0 {
+				continue
+			}
+			share := rank[v] / float64(len(nbrs))
+			for _, w := range nbrs {
+				next[w] += share
+			}
+		}
+		var sum float64
+		for i := range next {
+			next[i] *= d
+			sum += next[i]
+		}
+		leak := (1 - sum) / float64(n)
+		for i := range next {
+			next[i] += leak
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// Dijkstra returns shortest-path distances from src with unit edge
+// weights (-1 for unreachable vertices). With unit weights the binary
+// heap degenerates gracefully to near-BFS behavior, matching the
+// paper's use of Dijkstra's on unweighted summaries.
+func Dijkstra(g NeighborSource, src int32) []int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if n == 0 {
+		return dist
+	}
+	type item struct {
+		v int32
+		d int64
+	}
+	heap := []item{{src, 0}}
+	dist[src] = 0
+	push := func(it item) {
+		heap = append(heap, it)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() item {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < last && heap[l].d < heap[smallest].d {
+				smallest = l
+			}
+			if r < last && heap[r].d < heap[smallest].d {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		it := pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, w := range g.Neighbors(it.v) {
+			nd := it.d + 1
+			if dist[w] < 0 || nd < dist[w] {
+				dist[w] = nd
+				push(item{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// CountTriangles counts triangles by neighbor-set intersection over the
+// NeighborSource (each triangle counted once).
+func CountTriangles(g NeighborSource) int64 {
+	n := g.NumNodes()
+	mark := make([]bool, n)
+	var count int64
+	for v := int32(0); v < int32(n); v++ {
+		nbrs := append([]int32(nil), g.Neighbors(v)...)
+		for _, w := range nbrs {
+			if w > v {
+				mark[w] = true
+			}
+		}
+		for _, w := range nbrs {
+			if w <= v {
+				continue
+			}
+			for _, x := range g.Neighbors(w) {
+				if x > w && x < int32(n) && mark[x] {
+					count++
+				}
+			}
+		}
+		for _, w := range nbrs {
+			if w > v {
+				mark[w] = false
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,175 @@
+package algos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func lineGraph(n int) *graph.Graph {
+	var edges [][2]int32
+	for i := int32(0); i < int32(n)-1; i++ {
+		edges = append(edges, [2]int32{i, i + 1})
+	}
+	return graph.FromEdges(n, edges)
+}
+
+func TestBFSOrderOnLine(t *testing.T) {
+	g := Raw(lineGraph(5))
+	order := BFS(g, 0)
+	want := []int32{0, 1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("BFS = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("BFS = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := Raw(graph.FromEdges(4, [][2]int32{{0, 1}}))
+	if got := BFS(g, 0); len(got) != 2 {
+		t.Fatalf("BFS reached %v, want 2 vertices", got)
+	}
+	if got := BFS(g, 3); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("BFS from isolated = %v", got)
+	}
+}
+
+func TestDFSPreorder(t *testing.T) {
+	// Star with center 0: DFS visits 0 then each leaf.
+	g := Raw(graph.FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}}))
+	order := DFS(g, 0)
+	if order[0] != 0 || len(order) != 4 {
+		t.Fatalf("DFS = %v", order)
+	}
+	if order[1] != 1 {
+		t.Fatalf("DFS should visit smallest neighbor first: %v", order)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := Raw(graph.FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {3, 4}}))
+	comp, n := ConnectedComponents(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Fatalf("comp = %v", comp)
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a cycle every vertex has the same rank.
+	g := Raw(graph.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}))
+	pr := PageRank(g, 0.85, 30)
+	var sum float64
+	for _, r := range pr {
+		sum += r
+		if math.Abs(r-0.2) > 1e-9 {
+			t.Fatalf("cycle PageRank not uniform: %v", pr)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("PageRank sums to %f", sum)
+	}
+}
+
+func TestPageRankStarCenterHighest(t *testing.T) {
+	g := Raw(graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}}))
+	pr := PageRank(g, 0.85, 30)
+	for v := 1; v < 5; v++ {
+		if pr[0] <= pr[v] {
+			t.Fatalf("center rank %f not highest: %v", pr[0], pr)
+		}
+	}
+}
+
+func TestDijkstraUnitWeights(t *testing.T) {
+	g := Raw(lineGraph(5))
+	dist := Dijkstra(g, 0)
+	for i, want := range []int64{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist = %v", dist)
+		}
+	}
+	g2 := Raw(graph.FromEdges(3, [][2]int32{{0, 1}}))
+	if d := Dijkstra(g2, 0); d[2] != -1 {
+		t.Fatalf("unreachable distance = %d, want -1", d[2])
+	}
+}
+
+func TestCountTrianglesMatchesGraphPackage(t *testing.T) {
+	g := graph.ErdosRenyi(60, 250, 5)
+	if got, want := CountTriangles(Raw(g)), graph.CountTriangles(g); got != want {
+		t.Fatalf("triangles = %d, want %d", got, want)
+	}
+}
+
+// The Sect. VIII-C claim: algorithms produce identical results on the
+// raw graph and on the SLUGGER summary via partial decompression.
+func TestAlgorithmsAgreeOnSummary(t *testing.T) {
+	g := graph.Caveman(4, 6, 3, 21)
+	sum, _ := core.Summarize(g, core.Config{T: 10, Seed: 3})
+	raw, onsum := Raw(g), OnSummary(sum)
+
+	if a, b := BFS(raw, 0), BFS(onsum, 0); len(a) != len(b) {
+		t.Fatalf("BFS reach differs: %d vs %d", len(a), len(b))
+	}
+	da, db := Dijkstra(raw, 0), Dijkstra(onsum, 0)
+	for i := range da {
+		if da[i] != db[i] {
+			t.Fatalf("Dijkstra dist differs at %d: %d vs %d", i, da[i], db[i])
+		}
+	}
+	pa, pb := PageRank(raw, 0.85, 20), PageRank(onsum, 0.85, 20)
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-9 {
+			t.Fatalf("PageRank differs at %d: %f vs %f", i, pa[i], pb[i])
+		}
+	}
+	if ta, tb := CountTriangles(raw), CountTriangles(onsum); ta != tb {
+		t.Fatalf("triangles differ: %d vs %d", ta, tb)
+	}
+	ca, na := ConnectedComponents(raw)
+	cb, nb := ConnectedComponents(onsum)
+	if na != nb {
+		t.Fatalf("component counts differ: %d vs %d", na, nb)
+	}
+	_ = ca
+	_ = cb
+}
+
+// Property: BFS reach equals component size on random graphs, both raw
+// and on summaries.
+func TestBFSReachEqualsComponentProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(10+rng.Intn(30), 20+rng.Intn(60), seed)
+		src := int32(rng.Intn(g.NumNodes()))
+		comp, _ := ConnectedComponents(Raw(g))
+		size := 0
+		for _, c := range comp {
+			if c == comp[src] {
+				size++
+			}
+		}
+		if len(BFS(Raw(g), src)) != size {
+			return false
+		}
+		sum, _ := core.Summarize(g, core.Config{T: 4, Seed: seed})
+		return len(BFS(OnSummary(sum), src)) == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

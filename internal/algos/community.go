@@ -1,0 +1,100 @@
+package algos
+
+// Additional whole-graph algorithms that run over NeighborSource and
+// hence directly on hierarchical summaries (Sect. VIII-C).
+
+// KCore returns the core number of every vertex (the largest k such
+// that the vertex belongs to the maximal subgraph of minimum degree k),
+// computed by the standard peeling algorithm with bucket queues.
+func KCore(g NeighborSource) []int {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = len(g.Neighbors(int32(v)))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	buckets := make([][]int32, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], int32(v))
+	}
+	core := make([]int, n)
+	removed := make([]bool, n)
+	cur := make([]int, n)
+	copy(cur, deg)
+	processed := 0
+	k := 0
+	for processed < n {
+		// Find the lowest non-empty bucket at or below the frontier.
+		for b := 0; b <= maxDeg; b++ {
+			for len(buckets[b]) > 0 {
+				v := buckets[b][len(buckets[b])-1]
+				buckets[b] = buckets[b][:len(buckets[b])-1]
+				if removed[v] || cur[v] != b {
+					continue // stale entry
+				}
+				if b > k {
+					k = b
+				}
+				core[v] = k
+				removed[v] = true
+				processed++
+				for _, w := range g.Neighbors(v) {
+					if !removed[w] && cur[w] > b {
+						cur[w]--
+						buckets[cur[w]] = append(buckets[cur[w]], w)
+					}
+				}
+				b = 0 // restart from the lowest bucket
+			}
+		}
+	}
+	return core
+}
+
+// LabelPropagation runs synchronous label propagation for at most
+// maxRounds rounds and returns a community label per vertex. Ties break
+// toward the smallest label, making the result deterministic.
+func LabelPropagation(g NeighborSource, maxRounds int) []int32 {
+	n := g.NumNodes()
+	label := make([]int32, n)
+	for v := range label {
+		label[v] = int32(v)
+	}
+	next := make([]int32, n)
+	counts := make(map[int32]int, 16)
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			nbrs := g.Neighbors(int32(v))
+			if len(nbrs) == 0 {
+				next[v] = label[v]
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, w := range nbrs {
+				counts[label[w]]++
+			}
+			best, bestCount := label[v], 0
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			next[v] = best
+			if best != label[v] {
+				changed = true
+			}
+		}
+		label, next = next, label
+		if !changed {
+			break
+		}
+	}
+	return label
+}

@@ -1,0 +1,74 @@
+package algos
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestKCoreOnCliquePlusTail(t *testing.T) {
+	// K4 (vertices 0..3) with a tail 3-4-5: clique vertices have core 3,
+	// tail vertices core 1.
+	g := graph.FromEdges(6, [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4}, {4, 5},
+	})
+	core4 := KCore(Raw(g))
+	want := []int{3, 3, 3, 3, 1, 1}
+	for v, w := range want {
+		if core4[v] != w {
+			t.Fatalf("core[%d] = %d, want %d (all: %v)", v, core4[v], w, core4)
+		}
+	}
+}
+
+func TestKCoreIsolatedAndEmpty(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	for v, c := range KCore(Raw(g)) {
+		if c != 0 {
+			t.Fatalf("core[%d] = %d, want 0", v, c)
+		}
+	}
+}
+
+func TestLabelPropagationFindsCliques(t *testing.T) {
+	g := graph.Caveman(3, 8, 0, 1) // 3 cliques, ring bridges only
+	labels := LabelPropagation(Raw(g), 20)
+	// Within each clique, labels must agree (bridges may pull one node).
+	for c := 0; c < 3; c++ {
+		base := c * 8
+		agree := 0
+		for i := 1; i < 8; i++ {
+			if labels[base+i] == labels[base] {
+				agree++
+			}
+		}
+		if agree < 5 {
+			t.Fatalf("clique %d fragmented: %v", c, labels[base:base+8])
+		}
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(50, 150, 3)
+	a := LabelPropagation(Raw(g), 10)
+	b := LabelPropagation(Raw(g), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("label propagation not deterministic")
+		}
+	}
+}
+
+func TestKCoreAgreesOnSummary(t *testing.T) {
+	g := graph.Caveman(3, 6, 2, 7)
+	sum, _ := core.Summarize(g, core.Config{T: 8, Seed: 3})
+	a := KCore(Raw(g))
+	b := KCore(OnSummary(sum))
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("core numbers differ at %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}

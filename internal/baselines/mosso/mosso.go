@@ -1,0 +1,130 @@
+// Package mosso implements MoSSo (Ko et al., KDD'20), the incremental
+// lossless summarizer of fully dynamic graph streams, in the batch
+// setting used by the SLUGGER paper's evaluation: edges are processed
+// one at a time; each insertion triggers randomized "move" proposals in
+// which an endpoint either escapes to a fresh singleton supernode (with
+// probability e) or tries joining the supernode of a sampled neighbor,
+// accepting moves that reduce the encoding cost (e = 0.3, c = 120
+// trials per insertion, capped).
+package mosso
+
+import (
+	"math/rand"
+
+	"repro/internal/flat"
+	"repro/internal/flatgreedy"
+	"repro/internal/graph"
+)
+
+// Config holds MoSSo parameters; the zero value uses the paper's
+// settings.
+type Config struct {
+	Escape float64 // escape probability e (default 0.3)
+	Trials int     // candidate samples per processed edge c (default 120)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Escape <= 0 {
+		c.Escape = 0.3
+	}
+	if c.Trials <= 0 {
+		c.Trials = 120
+	}
+	return c
+}
+
+// Summarize streams the edges of g in random order through the
+// incremental summarizer and returns the optimal flat encoding of the
+// final partition.
+func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
+	cfg = cfg.withDefaults()
+	gr := flatgreedy.New(g)
+	rng := rand.New(rand.NewSource(seed))
+
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		ProcessInsertion(gr, e[0], e[1], cfg, rng)
+		ProcessInsertion(gr, e[1], e[0], cfg, rng)
+	}
+	return gr.Encode()
+}
+
+// ProcessInsertion performs MoSSo's randomized move proposals for
+// endpoint u of a newly arrived edge (u, v). Exported so the streaming
+// example can drive the summarizer edge by edge.
+func ProcessInsertion(gr *flatgreedy.Grouping, u, v int32, cfg Config, rng *rand.Rand) {
+	cfg = cfg.withDefaults()
+	nbrs := gr.Neighbors(v)
+	if len(nbrs) == 0 {
+		return
+	}
+	trials := cfg.Trials
+	if trials > len(nbrs) {
+		trials = len(nbrs)
+	}
+	for i := 0; i < trials; i++ {
+		// The node proposing a move: a random neighbor of v (u's arrival
+		// perturbs v's neighborhood, so corrections concentrate there).
+		x := nbrs[rng.Intn(len(nbrs))]
+		if rng.Float64() < cfg.Escape {
+			tryMove(gr, x, gr.NewGroup())
+			continue
+		}
+		// Propose joining the supernode of another random neighbor.
+		y := nbrs[rng.Intn(len(nbrs))]
+		target := gr.GroupOf[y]
+		if target != gr.GroupOf[x] {
+			tryMove(gr, x, target)
+		}
+	}
+	_ = u
+}
+
+// tryMove moves vertex x into group target and keeps the move only if
+// the local encoding cost does not increase.
+func tryMove(gr *flatgreedy.Grouping, x, target int32) {
+	from := gr.GroupOf[x]
+	if from == target {
+		return
+	}
+	before := localCost(gr, x, from, target)
+	gr.MoveVertex(x, target)
+	after := localCost(gr, x, from, target)
+	if after >= before {
+		gr.MoveVertex(x, from) // revert
+	}
+}
+
+// localCost sums the pair costs of every group pair whose encoding can
+// change when x moves between groups a and b: pairs involving a or b
+// and the groups of x's neighbors.
+func localCost(gr *flatgreedy.Grouping, x, a, b int32) int64 {
+	var c int64
+	seen := make(map[int64]bool)
+	addPair := func(p, q int32) {
+		if p > q {
+			p, q = q, p
+		}
+		k := int64(p)<<32 | int64(q)
+		if !seen[k] {
+			seen[k] = true
+			c += gr.PairCost(p, q)
+		}
+	}
+	for _, g := range []int32{a, b} {
+		addPair(g, g)
+		addPair(a, b)
+		for _, w := range gr.Neighbors(x) {
+			addPair(g, gr.GroupOf[w])
+		}
+	}
+	// Membership h*-edges change when groups cross the singleton
+	// boundary; account for the sizes of a and b.
+	for _, g := range []int32{a, b} {
+		if gr.Size(g) >= 2 {
+			c += gr.Size(g)
+		}
+	}
+	return c
+}

@@ -1,0 +1,78 @@
+// Package randomized implements the RANDOMIZED lossless graph
+// summarizer of Navlakha et al. (SIGMOD'08), as described in Sect. V of
+// the SLUGGER paper: repeatedly pick a random supernode u and merge it
+// with the supernode in its 2-hop neighborhood whose merger reduces the
+// encoding cost most; finish u when no merger helps.
+package randomized
+
+import (
+	"math/rand"
+
+	"repro/internal/flat"
+	"repro/internal/flatgreedy"
+	"repro/internal/graph"
+)
+
+// Summarize runs the randomized greedy search and returns the optimal
+// flat encoding of the resulting partition.
+func Summarize(g *graph.Graph, seed int64) *flat.Summary {
+	gr := flatgreedy.New(g)
+	rng := rand.New(rand.NewSource(seed))
+
+	unfinished := make([]int32, g.NumNodes())
+	for i := range unfinished {
+		unfinished[i] = int32(i)
+	}
+	for len(unfinished) > 0 {
+		i := rng.Intn(len(unfinished))
+		u := unfinished[i]
+		if !gr.Alive(u) {
+			unfinished[i] = unfinished[len(unfinished)-1]
+			unfinished = unfinished[:len(unfinished)-1]
+			continue
+		}
+		best, bestSaving := int32(-1), 0.0
+		for _, w := range twoHopGroups(gr, u) {
+			if s := gr.Saving(u, w); s > bestSaving {
+				bestSaving = s
+				best = w
+			}
+		}
+		if best >= 0 {
+			gr.Merge(u, best)
+			// u stays in the pool: further mergers may still help.
+			continue
+		}
+		unfinished[i] = unfinished[len(unfinished)-1]
+		unfinished = unfinished[:len(unfinished)-1]
+	}
+	return gr.Encode()
+}
+
+// twoHopGroups returns the distinct groups within two hops of group u
+// (excluding u itself).
+func twoHopGroups(gr *flatgreedy.Grouping, u int32) []int32 {
+	seen := map[int32]bool{u: true}
+	var out []int32
+	add := func(w int32) {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	var firstHop []int32
+	for w := range gr.Nbr[u] {
+		if w != u {
+			add(w)
+			firstHop = append(firstHop, w)
+		}
+	}
+	for _, w := range firstHop {
+		for x := range gr.Nbr[w] {
+			if x != w {
+				add(x)
+			}
+		}
+	}
+	return out
+}

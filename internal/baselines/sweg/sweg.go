@@ -1,0 +1,166 @@
+// Package sweg implements the lossless mode (ε = 0) of SWeG (Shin et
+// al., WWW'19), the strongest baseline in the SLUGGER paper. SWeG
+// alternates min-hash candidate generation with a merging phase that
+// selects partners by SuperJaccard similarity of supernode
+// neighborhoods and merges them when the cost saving reaches the
+// declining threshold θ(t) = 1/(1+t).
+package sweg
+
+import (
+	"math/rand"
+
+	"repro/internal/flat"
+	"repro/internal/flatgreedy"
+	"repro/internal/graph"
+	"repro/internal/minhash"
+)
+
+// Config holds SWeG parameters; the zero value uses the paper's
+// settings (T = 20).
+type Config struct {
+	T         int
+	MaxGroup  int
+	MaxLevels int
+}
+
+func (c Config) withDefaults() Config {
+	if c.T <= 0 {
+		c.T = 20
+	}
+	if c.MaxGroup <= 0 {
+		c.MaxGroup = 500
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 10
+	}
+	return c
+}
+
+// Summarize runs SWeG and returns the optimal flat encoding of the
+// final partition.
+func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
+	cfg = cfg.withDefaults()
+	gr := flatgreedy.New(g)
+	rng := rand.New(rand.NewSource(seed))
+
+	for t := 1; t <= cfg.T; t++ {
+		theta := threshold(t, cfg.T)
+		for _, group := range candidateGroups(gr, t, seed, cfg, rng) {
+			processGroup(gr, group, theta, rng)
+		}
+	}
+	return gr.Encode()
+}
+
+func threshold(t, T int) float64 {
+	if t >= T {
+		return 0
+	}
+	return 1 / float64(1+t)
+}
+
+// candidateGroups groups live supernodes by neighborhood shingles.
+func candidateGroups(gr *flatgreedy.Grouping, iter int, seed int64, cfg Config, rng *rand.Rand) [][]int32 {
+	var live []int32
+	for id := int32(0); id < int32(len(gr.Members)); id++ {
+		if gr.Alive(id) {
+			live = append(live, id)
+		}
+	}
+	cache := make(map[int][]uint64)
+	key := func(sn int32, level int) uint64 {
+		sh, ok := cache[level]
+		if !ok {
+			sh = supernodeShingles(gr, minhash.Hash64(uint64(seed), uint64(iter)<<20|uint64(level)))
+			cache[level] = sh
+		}
+		return sh[sn]
+	}
+	return minhash.Group(live, cfg.MaxGroup, cfg.MaxLevels, key, rng)
+}
+
+// supernodeShingles folds per-vertex 1-hop shingles into supernodes.
+func supernodeShingles(gr *flatgreedy.Grouping, seed uint64) []uint64 {
+	sh := make([]uint64, len(gr.Members))
+	for i := range sh {
+		sh[i] = ^uint64(0)
+	}
+	g := gr.G
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		f := minhash.Hash64(seed, uint64(v))
+		for _, w := range g.Neighbors(v) {
+			if h := minhash.Hash64(seed, uint64(w)); h < f {
+				f = h
+			}
+		}
+		if sn := gr.GroupOf[v]; f < sh[sn] {
+			sh[sn] = f
+		}
+	}
+	return sh
+}
+
+// processGroup is SWeG's merging phase for one candidate group: pick a
+// random supernode A, choose B by maximum SuperJaccard, merge when the
+// actual cost saving reaches θ(t).
+func processGroup(gr *flatgreedy.Grouping, group []int32, theta float64, rng *rand.Rand) {
+	q := append([]int32(nil), group...)
+	for len(q) > 1 {
+		i := rng.Intn(len(q))
+		a := q[i]
+		q[i] = q[len(q)-1]
+		q = q[:len(q)-1]
+		if !gr.Alive(a) {
+			continue
+		}
+		na := neighborhood(gr, a)
+		best, bestJac := -1, -1.0
+		for j, z := range q {
+			if !gr.Alive(z) {
+				continue
+			}
+			if jac := jaccard(na, neighborhood(gr, z)); jac > bestJac {
+				bestJac = jac
+				best = j
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		b := q[best]
+		if gr.Saving(a, b) >= theta {
+			m := gr.Merge(a, b)
+			q[best] = m
+		}
+	}
+}
+
+// neighborhood returns the union subnode neighborhood of a supernode as
+// a set.
+func neighborhood(gr *flatgreedy.Grouping, a int32) map[int32]bool {
+	out := make(map[int32]bool)
+	for _, v := range gr.Members[a] {
+		for _, w := range gr.G.Neighbors(v) {
+			out[w] = true
+		}
+	}
+	return out
+}
+
+// jaccard returns |x ∩ y| / |x ∪ y| (0 when both are empty).
+func jaccard(x, y map[int32]bool) float64 {
+	if len(x) == 0 && len(y) == 0 {
+		return 0
+	}
+	small, big := x, y
+	if len(small) > len(big) {
+		small, big = big, small
+	}
+	inter := 0
+	for k := range small {
+		if big[k] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(x)+len(y)-inter)
+}

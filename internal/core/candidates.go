@@ -1,0 +1,214 @@
+package core
+
+import (
+	"repro/internal/minhash"
+)
+
+// generateCandidates implements the candidate generation step of
+// Sect. III-B2: root supernodes are grouped by min-hash shingles of
+// their (1-hop) neighborhoods, re-splitting oversized groups with fresh
+// shingle seeds up to maxLevels times and then randomly, so that every
+// candidate set has at most maxGroup roots. Using a different base seed
+// every iteration varies the candidate sets across iterations.
+func (st *state) generateCandidates(iter, maxGroup, maxLevels int, seed int64) [][]int32 {
+	roots := st.roots()
+	cache := make(map[int][]uint64)
+	key := func(root int32, level int) uint64 {
+		sh, ok := cache[level]
+		if !ok {
+			levelSeed := minhash.Hash64(uint64(seed), uint64(iter)<<20|uint64(level))
+			sh = st.rootShingles(levelSeed)
+			cache[level] = sh
+		}
+		return sh[root]
+	}
+	return minhash.Group(roots, maxGroup, maxLevels, key, st.rng)
+}
+
+// rootShingles computes, for every current root, the minimum over its
+// subnodes v of min(h(v), min_{w in N(v)} h(w)) under the seeded
+// permutation h — the supernode-level shingle of SWeG, in O(|V|+|E|)
+// (Lemma 2).
+func (st *state) rootShingles(seed uint64) []uint64 {
+	sh := make([]uint64, st.next)
+	for i := range sh {
+		sh[i] = ^uint64(0)
+	}
+	for v := int32(0); v < st.n; v++ {
+		f := minhash.Hash64(seed, uint64(v))
+		for _, w := range st.g.Neighbors(v) {
+			if h := minhash.Hash64(seed, uint64(w)); h < f {
+				f = h
+			}
+		}
+		if r := st.rootOf[v]; f < sh[r] {
+			sh[r] = f
+		}
+	}
+	return sh
+}
+
+// sweepCache caches per-root sweeps within one candidate group and
+// keeps them consistent across merges by collapsing merged targets.
+type sweepCache struct {
+	st *state
+	m  map[int32]map[int32]*blockCounts
+}
+
+func newSweepCache(st *state) *sweepCache {
+	return &sweepCache{st: st, m: make(map[int32]map[int32]*blockCounts)}
+}
+
+func (sc *sweepCache) get(root int32) map[int32]*blockCounts {
+	if sw, ok := sc.m[root]; ok {
+		return sw
+	}
+	sw := sc.st.sweep(root)
+	sc.m[root] = sw
+	return sw
+}
+
+// collapseLeft sums a sweep's left-atom rows into a single row — the
+// view of the swept tree from a coarser left granularity.
+func collapseLeft(sw map[int32]*blockCounts, row int) map[int32]*blockCounts {
+	out := make(map[int32]*blockCounts, len(sw))
+	for c, bc := range sw {
+		nb := &blockCounts{}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				nb.cnt[row][j] += bc.cnt[i][j]
+			}
+		}
+		out[c] = nb
+	}
+	return out
+}
+
+// afterMerge updates the cache after a and b merged into m: the sweep
+// of m is derived from the sweeps of a and b (its atoms are exactly
+// {a,b}), and every cached sweep's stale targets a/b are collapsed into
+// a fresh target m whose atoms are {a,b}.
+func (sc *sweepCache) afterMerge(a, b, m int32, sweepA, sweepB map[int32]*blockCounts) {
+	delete(sc.m, a)
+	delete(sc.m, b)
+	// sweep(m): left atoms are {a, b}.
+	swM := collapseLeft(sweepA, 0)
+	for c, bc := range collapseLeft(sweepB, 1) {
+		if ex, ok := swM[c]; ok {
+			ex.cnt[1] = bc.cnt[1]
+		} else {
+			swM[c] = bc
+		}
+	}
+	delete(swM, a)
+	delete(swM, b)
+	sc.m[m] = swM
+	// Retarget other cached sweeps.
+	for _, sw := range sc.m {
+		bcA, okA := sw[a]
+		bcB, okB := sw[b]
+		if !okA && !okB {
+			continue
+		}
+		nb := &blockCounts{}
+		for i := 0; i < 2; i++ {
+			if okA {
+				nb.cnt[i][0] = bcA.cnt[i][0] + bcA.cnt[i][1]
+			}
+			if okB {
+				nb.cnt[i][1] = bcB.cnt[i][0] + bcB.cnt[i][1]
+			}
+		}
+		delete(sw, a)
+		delete(sw, b)
+		sw[m] = nb
+	}
+}
+
+// processGroup runs the inner loop of Algorithm 2 on one candidate set:
+// repeatedly pick a random root A, find the partner maximizing the
+// saving, and merge when the saving reaches the threshold. Returns the
+// number of merges performed.
+//
+// When st.workers > 1, partner evaluations (which are read-only on the
+// state) run concurrently; the argmax reduction scans results in index
+// order with a strict comparison, so parallel and serial runs pick
+// identical partners.
+func (st *state) processGroup(group []int32, theta float64, hb int) int {
+	q := append([]int32(nil), group...)
+	sc := newSweepCache(st)
+	merges := 0
+	for len(q) > 1 {
+		i := st.rng.Intn(len(q))
+		a := q[i]
+		q[i] = q[len(q)-1]
+		q = q[:len(q)-1]
+
+		sweepA := sc.get(a)
+		var best *mergeDecision
+		bestIdx := -1
+		if st.workers > 1 && len(q) >= 2*st.workers {
+			best, bestIdx = st.argmaxParallel(a, q, sweepA, sc, theta, hb)
+		} else {
+			cutoff := theta
+			for j, z := range q {
+				dec := st.evaluateMerge(a, z, sweepA, sc.get(z), hb, cutoff)
+				if dec != nil && (best == nil || dec.saving > best.saving) {
+					best = dec
+					bestIdx = j
+					if dec.saving > cutoff {
+						cutoff = dec.saving
+					}
+				}
+			}
+		}
+		if best != nil && best.saving >= theta {
+			sweepB := sc.get(best.b)
+			m := st.commitMerge(best)
+			sc.afterMerge(best.a, best.b, m, sweepA, sweepB)
+			q[bestIdx] = m
+			merges++
+		}
+	}
+	return merges
+}
+
+// argmaxParallel evaluates all candidate partners concurrently.
+// Evaluations are pure reads of the summarization state; sweeps are
+// precomputed (also in parallel) and inserted into the cache serially.
+func (st *state) argmaxParallel(a int32, q []int32, sweepA map[int32]*blockCounts, sc *sweepCache, theta float64, hb int) (*mergeDecision, int) {
+	sweeps := make([]map[int32]*blockCounts, len(q))
+	missing := make([]int, 0, len(q))
+	for j, z := range q {
+		if sw, ok := sc.m[z]; ok {
+			sweeps[j] = sw
+		} else {
+			missing = append(missing, j)
+		}
+	}
+	runChunks(st.workers, len(missing), func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			j := missing[k]
+			sweeps[j] = st.sweep(q[j])
+		}
+	})
+	for _, j := range missing {
+		sc.m[q[j]] = sweeps[j]
+	}
+
+	results := make([]*mergeDecision, len(q))
+	runChunks(st.workers, len(q), func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			results[j] = st.evaluateMerge(a, q[j], sweepA, sweeps[j], hb, theta)
+		}
+	})
+	var best *mergeDecision
+	bestIdx := -1
+	for j, dec := range results {
+		if dec != nil && (best == nil || dec.saving > best.saving) {
+			best = dec
+			bestIdx = j
+		}
+	}
+	return best, bestIdx
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// buildProblem constructs a standalone bipProblem for optimizer unit
+// tests: left atoms with given sizes under optional groups, right atoms
+// under a top, with explicit block counts.
+func buildProblem(leftSizes []int64, groupOf []int8, rightSizes []int64, cnt [][]int64, offset int8) *bipProblem {
+	p := &bipProblem{leftTop: 100, rightTop: 200, offset: offset}
+	p.groups = [2]int32{-1, -1}
+	p.nAtoms = len(leftSizes)
+	for i, s := range leftSizes {
+		p.atoms[i] = int32(10 + i)
+		p.leftSizes[i] = s
+		p.groupOf[i] = groupOf[i]
+		p.rowOK[i] = true
+		if groupOf[i] >= 0 {
+			p.groups[groupOf[i]] = int32(50 + groupOf[i])
+		}
+	}
+	p.nRight = len(rightSizes)
+	for j, s := range rightSizes {
+		p.rightAtoms[j] = int32(20 + j)
+		p.rightSizes[j] = s
+	}
+	p.colsOK = p.nRight > 1
+	for i := range cnt {
+		for j := range cnt[i] {
+			p.cnt[i][j] = cnt[i][j]
+		}
+	}
+	return p
+}
+
+func TestSolveBipEmptyBlocksCostZero(t *testing.T) {
+	p := buildProblem([]int64{3, 3}, []int8{-1, -1}, []int64{4}, [][]int64{{0}, {0}}, 0)
+	if plan := solveBip(p); plan.cost != 0 {
+		t.Fatalf("cost = %d, want 0", plan.cost)
+	}
+}
+
+func TestSolveBipCompleteBipartiteOneEdge(t *testing.T) {
+	// All blocks full: a single top edge suffices.
+	p := buildProblem([]int64{3, 3}, []int8{-1, -1}, []int64{4, 2},
+		[][]int64{{12, 6}, {12, 6}}, 0)
+	plan := solveBip(p)
+	if plan.cost != 1 {
+		t.Fatalf("cost = %d, want 1 (single top p-edge)", plan.cost)
+	}
+	if plan.top != 1 {
+		t.Fatalf("top = %d, want +1", plan.top)
+	}
+}
+
+func TestSolveBipFullMinusOneBlock(t *testing.T) {
+	// Three of four blocks full, one empty: top p-edge + one n-edge.
+	p := buildProblem([]int64{3, 3}, []int8{-1, -1}, []int64{4, 2},
+		[][]int64{{12, 6}, {12, 0}}, 0)
+	plan := solveBip(p)
+	if plan.cost != 2 {
+		t.Fatalf("cost = %d, want 2", plan.cost)
+	}
+}
+
+func TestSolveBipSingleFullBlock(t *testing.T) {
+	// Only one block full: a single atom-level edge.
+	p := buildProblem([]int64{3, 3}, []int8{-1, -1}, []int64{4, 2},
+		[][]int64{{12, 0}, {0, 0}}, 0)
+	plan := solveBip(p)
+	if plan.cost != 1 {
+		t.Fatalf("cost = %d, want 1", plan.cost)
+	}
+}
+
+func TestSolveBipMixedBlockFallsBackToListing(t *testing.T) {
+	// One mixed block with 2 of 12 pairs present: listing the 2 edges
+	// beats the superedge + 10 corrections.
+	p := buildProblem([]int64{3}, []int8{-1}, []int64{4}, [][]int64{{2}}, 0)
+	plan := solveBip(p)
+	if plan.cost != 2 {
+		t.Fatalf("cost = %d, want 2 (list both subedges)", plan.cost)
+	}
+	// Dense mixed block: 11 of 12 pairs -> superedge + 1 n-correction.
+	p2 := buildProblem([]int64{3}, []int8{-1}, []int64{4}, [][]int64{{11}}, 0)
+	if plan := solveBip(p2); plan.cost != 2 {
+		t.Fatalf("dense cost = %d, want 2 (p-edge + 1 n-correction)", plan.cost)
+	}
+}
+
+func TestSolveBipGroupLevelCover(t *testing.T) {
+	// Atoms 0,1 in group 0 fully connected to the right; atoms 2,3 in
+	// group 1 not connected: one (group0, top) edge.
+	p := buildProblem([]int64{2, 2, 2, 2}, []int8{0, 0, 1, 1}, []int64{3, 3},
+		[][]int64{{6, 6}, {6, 6}, {0, 0}, {0, 0}}, 0)
+	plan := solveBip(p)
+	if plan.cost != 1 {
+		t.Fatalf("cost = %d, want 1 (group-level edge)", plan.cost)
+	}
+	if plan.groupVals[0] != 1 || plan.groupVals[1] != 0 {
+		t.Fatalf("groupVals = %v, want [1 0]", plan.groupVals)
+	}
+}
+
+func TestSolveBipOffsetScenario(t *testing.T) {
+	// With offset 1 (the (M,M) self-loop scenario), empty blocks need a
+	// compensating -1; full blocks are free.
+	p := buildProblem([]int64{2, 2}, []int8{-1, -1}, []int64{3},
+		[][]int64{{6}, {0}}, 1)
+	plan := solveBip(p)
+	if plan.cost != 1 {
+		t.Fatalf("cost = %d, want 1 (one n-edge for the empty row)", plan.cost)
+	}
+}
+
+func TestSolveBipColumnCover(t *testing.T) {
+	// Right atom 0 fully connected to everything, right atom 1 not:
+	// one (leftTop, rightAtom0) column edge.
+	p := buildProblem([]int64{2, 2}, []int8{-1, -1}, []int64{3, 3},
+		[][]int64{{6, 0}, {6, 0}}, 0)
+	plan := solveBip(p)
+	if plan.cost != 1 {
+		t.Fatalf("cost = %d, want 1 (column edge)", plan.cost)
+	}
+}
+
+func TestRawBlockCostTable(t *testing.T) {
+	cases := []struct {
+		base  int
+		gt, T int64
+		want  int64
+	}{
+		{0, 0, 10, 0},    // empty, uncovered
+		{0, 10, 10, 1},   // full, uncovered -> one p-edge
+		{1, 10, 10, 0},   // full, covered
+		{1, 0, 10, 1},    // empty, covered -> one n-edge
+		{0, 3, 10, 3},    // sparse mixed -> list 3
+		{0, 9, 10, 2},    // dense mixed -> p-edge + 1 correction
+		{1, 9, 10, 1},    // dense mixed, covered -> 1 n-correction
+		{2, 10, 10, 1},   // over-covered full -> one n-edge brings to 1
+		{-1, 10, 10, 11}, // under-covered full: atom edge to 0, then list all 10
+	}
+	for _, c := range cases {
+		if got := rawBlockCost(c.base, c.gt, c.T); got != c.want {
+			t.Fatalf("rawBlockCost(%d, %d, %d) = %d, want %d", c.base, c.gt, c.T, got, c.want)
+		}
+	}
+}
+
+func TestListCostOutOfRange(t *testing.T) {
+	if listCost(2, 5, 10) < inf || listCost(-1, 5, 10) < inf {
+		t.Fatal("nets outside {0,1} must be infeasible")
+	}
+}
+
+func TestBlockMinValues(t *testing.T) {
+	if blockMin(0, 10) != 0 || blockMin(10, 10) != 0 {
+		t.Fatal("uniform blocks have zero minimum")
+	}
+	if blockMin(3, 10) != 3 || blockMin(8, 10) != 2 {
+		t.Fatal("mixed block minima wrong")
+	}
+}
+
+// Materialized plans must exactly encode the panel they were solved
+// for. We verify this end to end through random merges: after every
+// commit, the maintained encoding still decodes to the input graph.
+func TestMaterializeExactnessUnderRandomMerges(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(30, 120, seed)
+		st := newState(g, rand.New(rand.NewSource(seed)))
+		// Perform random valid merges regardless of saving.
+		for k := 0; k < 12; k++ {
+			roots := st.roots()
+			if len(roots) < 2 {
+				break
+			}
+			a := roots[rng.Intn(len(roots))]
+			b := roots[rng.Intn(len(roots))]
+			if a == b {
+				continue
+			}
+			dec := st.evaluateMerge(a, b, st.sweep(a), st.sweep(b), 0, -1e18)
+			if dec == nil {
+				continue
+			}
+			st.commitMerge(dec)
+			pr := newPruner(st)
+			sum := pr.emit()
+			if err := sum.Validate(g); err != nil {
+				t.Fatalf("seed %d after %d merges: %v", seed, k+1, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzSummarizeLossless drives SLUGGER with fuzz-generated edge lists
+// and asserts exact reconstruction. The seed corpus covers the shapes
+// that exercise distinct encoder paths (cliques, bicliques, paths,
+// isolated vertices); `go test -fuzz=FuzzSummarizeLossless` explores
+// beyond them.
+func FuzzSummarizeLossless(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 0, 2}, uint8(3), uint8(1))                   // triangle
+	f.Add([]byte{0, 1, 2, 3, 4, 5}, uint8(2), uint8(7))                   // matching
+	f.Add([]byte{0, 4, 0, 5, 1, 4, 1, 5, 2, 4, 2, 5}, uint8(5), uint8(0)) // biclique
+	f.Add([]byte{0, 1, 1, 2, 2, 3, 3, 4}, uint8(4), uint8(9))             // path
+	f.Add([]byte{}, uint8(1), uint8(0))                                   // empty
+	f.Fuzz(func(t *testing.T, raw []byte, tIter uint8, seed uint8) {
+		if len(raw) > 300 {
+			return
+		}
+		b := graph.NewBuilder(0)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(int32(raw[i]%64), int32(raw[i+1]%64))
+		}
+		g := b.Build()
+		iters := int(tIter%8) + 1
+		sum, stats := Summarize(g, Config{T: iters, Seed: int64(seed)})
+		if err := sum.Validate(g); err != nil {
+			t.Fatalf("lossless violation (T=%d seed=%d): %v", iters, seed, err)
+		}
+		if sum.Cost() > g.NumEdges() {
+			t.Fatalf("cost %d exceeds |E| %d", sum.Cost(), g.NumEdges())
+		}
+		if sum.Cost() != stats.FinalCost {
+			t.Fatalf("stats cost mismatch")
+		}
+	})
+}

@@ -1,0 +1,476 @@
+package core
+
+// This file implements the merging step (Algorithm 2): computing the
+// saving of a candidate pair (Eq. (8)) by temporarily merging it, and
+// committing the best merge with the encoding update of Sect. III-B3.
+
+// Within-encoding scenarios for Case 1.
+const (
+	withinKeep     = iota // keep the current cross(A,B) edges unchanged
+	withinRewrite         // rewrite cross(A,B) inside the panel
+	withinSelfLoop        // (M,M) p-loop scenario; sides handled per sideMode
+)
+
+// Side handling under the (M,M) scenario.
+const (
+	sideNLoopKeep = iota // add n-loop (X,X), keep within(X)
+	sideDrop             // drop within(X): X is a leaf or a complete supernode
+	sideNList            // drop within(X), list every non-adjacent pair as n-edges
+)
+
+type withinPlan struct {
+	cost     int64
+	scenario int
+	prob     *bipProblem
+	plan     bipPlan
+	sideMode [2]int8
+}
+
+type crossPlan struct {
+	c        int32
+	keep     bool
+	prob     *bipProblem
+	plan     bipPlan
+	cost     int64
+	keepCost int64
+	gt       int64
+}
+
+// blockMin returns the cheapest achievable cost of one block over all
+// ambient nets: 0 for uniform blocks, min(gt, total-gt) for mixed ones.
+func blockMin(gt, total int64) int64 {
+	if gt == 0 || gt == total {
+		return 0
+	}
+	if d := total - gt; d < gt {
+		return d
+	}
+	return gt
+}
+
+// case2Bound computes, without building the problem, a lower bound on
+// any panel rewrite of the (A∪B, C) encoding: the sum of per-block
+// minima over the atoms of A, B and C.
+func (st *state) case2Bound(a, b, c int32, bcA, bcB *blockCounts) int64 {
+	var lb, gtTotal int64
+	catoms := st.atomsOf(c)
+	nc := numAtoms(catoms)
+	for s, x := range [2]int32{a, b} {
+		bc := bcA
+		if s == 1 {
+			bc = bcB
+		}
+		atoms := st.atomsOf(x)
+		na := numAtoms(atoms)
+		for i := 0; i < na; i++ {
+			for j := 0; j < nc; j++ {
+				var gt int64
+				if bc != nil {
+					gt = bc.cnt[i][j]
+				}
+				gtTotal += gt
+				lb += blockMin(gt, int64(st.size[atoms[i]])*int64(st.size[catoms[j]]))
+			}
+		}
+	}
+	// Any panel with subedges needs at least one signed edge.
+	if lb == 0 && gtTotal > 0 {
+		lb = 1
+	}
+	return lb
+}
+
+// case1Bound is the analogous bound for the cross(A,B) blocks.
+func (st *state) case1Bound(a, b int32, bc *blockCounts) int64 {
+	var lb, gtTotal int64
+	aAtoms := st.atomsOf(a)
+	bAtoms := st.atomsOf(b)
+	for i := 0; i < numAtoms(aAtoms); i++ {
+		for j := 0; j < numAtoms(bAtoms); j++ {
+			var gt int64
+			if bc != nil {
+				gt = bc.cnt[i][j]
+			}
+			gtTotal += gt
+			lb += blockMin(gt, int64(st.size[aAtoms[i]])*int64(st.size[bAtoms[j]]))
+		}
+	}
+	if lb == 0 && gtTotal > 0 {
+		lb = 1
+	}
+	return lb
+}
+
+// mergeDecision is the full outcome of a (temporary) merge evaluation;
+// committing it applies exactly the evaluated encoding.
+type mergeDecision struct {
+	a, b      int32
+	within    withinPlan
+	crosses   []crossPlan
+	numerator int64
+	saving    float64
+}
+
+// fillLeftSingle configures the left side of a problem as one tree
+// (top, atoms = children or self), used by Case 1.
+func (st *state) fillLeftSingle(p *bipProblem, top int32) {
+	atoms := st.atomsOf(top)
+	p.leftTop = top
+	p.groups = [2]int32{-1, -1}
+	p.nAtoms = numAtoms(atoms)
+	for i := 0; i < p.nAtoms; i++ {
+		p.atoms[i] = atoms[i]
+		p.groupOf[i] = -1
+		p.rowOK[i] = atoms[i] != top
+		p.leftSizes[i] = int64(st.size[atoms[i]])
+	}
+}
+
+// fillRight configures the right side of a problem as one tree.
+func (st *state) fillRight(p *bipProblem, top int32) {
+	atoms := st.atomsOf(top)
+	p.rightTop = top
+	p.nRight = numAtoms(atoms)
+	for j := 0; j < p.nRight; j++ {
+		p.rightAtoms[j] = atoms[j]
+		p.rightSizes[j] = int64(st.size[atoms[j]])
+	}
+	p.colsOK = p.nRight > 1
+}
+
+// fillCase1 builds the panel optimization for the cross(A,B) adjacency:
+// left tree (A, ch(A)), right tree (B, ch(B)). bc may be nil (no edges).
+func (st *state) fillCase1(p *bipProblem, a, b int32, bc *blockCounts, offset int8) {
+	st.fillLeftSingle(p, a)
+	st.fillRight(p, b)
+	p.offset = offset
+	for i := 0; i < p.nAtoms; i++ {
+		for j := 0; j < p.nRight; j++ {
+			if bc != nil {
+				p.cnt[i][j] = bc.cnt[i][j]
+			} else {
+				p.cnt[i][j] = 0
+			}
+		}
+	}
+}
+
+// fillCase2 builds the panel optimization for the adjacency between the
+// merged tree M = A∪B and root C's tree.
+func (st *state) fillCase2(p *bipProblem, mid, a, b, c int32, bcA, bcB *blockCounts) {
+	p.leftTop = mid
+	p.groups = [2]int32{-1, -1}
+	p.offset = 0
+	n := 0
+	for s, x := range [2]int32{a, b} {
+		atoms := st.atomsOf(x)
+		na := numAtoms(atoms)
+		grp := int8(-1)
+		if na > 1 {
+			p.groups[s] = x
+			grp = int8(s)
+		}
+		bc := bcA
+		if s == 1 {
+			bc = bcB
+		}
+		for i := 0; i < na; i++ {
+			p.atoms[n] = atoms[i]
+			p.groupOf[n] = grp
+			p.rowOK[n] = true
+			p.leftSizes[n] = int64(st.size[atoms[i]])
+			for j := 0; j < maxRight; j++ {
+				if bc != nil {
+					p.cnt[n][j] = bc.cnt[i][j]
+				} else {
+					p.cnt[n][j] = 0
+				}
+			}
+			n++
+		}
+	}
+	p.nAtoms = n
+	st.fillRight(p, c)
+}
+
+// computeWithinPlan evaluates the three Case-1 scenarios and returns
+// the cheapest exact encoding of within(M).
+func (st *state) computeWithinPlan(a, b int32, bc *blockCounts) withinPlan {
+	wA := int64(len(st.within[a]))
+	wB := int64(len(st.within[b]))
+	keepCost := wA + wB + st.crossLen(a, b)
+	lb := st.case1Bound(a, b, bc)
+
+	var prob1 *bipProblem
+	rewriteCost := inf
+	var plan1 bipPlan
+	if wA+wB+lb < keepCost {
+		prob1 = new(bipProblem)
+		st.fillCase1(prob1, a, b, bc, 0)
+		plan1 = solveBip(prob1)
+		rewriteCost = wA + wB + plan1.cost
+	}
+
+	// (M,M) scenario: evaluate side handling first; its cost bounds
+	// whether the second solve is worth running.
+	var sideMode [2]int8
+	sideCost := int64(0)
+	for s, x := range [2]int32{a, b} {
+		switch {
+		case st.isLeaf(x):
+			sideMode[s] = sideDrop
+		case st.selfGT[x] == pairsWithin(st.size[x]):
+			sideMode[s] = sideDrop
+		default:
+			nKeep := 1 + int64(len(st.within[x]))
+			nList := pairsWithin(st.size[x]) - st.selfGT[x]
+			if nKeep <= nList {
+				sideMode[s] = sideNLoopKeep
+				sideCost += nKeep
+			} else {
+				sideMode[s] = sideNList
+				sideCost += nList
+			}
+		}
+	}
+	var prob2 *bipProblem
+	loopCost := inf
+	var plan2 bipPlan
+	bound := keepCost
+	if rewriteCost < bound {
+		bound = rewriteCost
+	}
+	if 1+sideCost+lb < bound {
+		prob2 = new(bipProblem)
+		st.fillCase1(prob2, a, b, bc, 1)
+		plan2 = solveBip(prob2)
+		loopCost = 1 + sideCost + plan2.cost
+	}
+
+	switch {
+	case keepCost <= rewriteCost && keepCost <= loopCost:
+		return withinPlan{cost: keepCost, scenario: withinKeep}
+	case rewriteCost <= loopCost:
+		return withinPlan{cost: rewriteCost, scenario: withinRewrite, prob: prob1, plan: plan1}
+	default:
+		return withinPlan{cost: loopCost, scenario: withinSelfLoop, prob: prob2, plan: plan2, sideMode: sideMode}
+	}
+}
+
+// computeCrossPlan evaluates keeping versus rewriting the encoding
+// between the merged tree and root C. The scratch problem avoids
+// allocation; it is copied into the plan only when a rewrite wins.
+func (st *state) computeCrossPlan(mid, a, b, c int32, eA, eB *crossEntry, bcA, bcB *blockCounts, scratch *bipProblem) crossPlan {
+	var keepCost, gt int64
+	if eA != nil {
+		keepCost += int64(len(eA.edges))
+		gt += eA.gt
+	}
+	if eB != nil {
+		keepCost += int64(len(eB.edges))
+		gt += eB.gt
+	}
+	if st.case2Bound(a, b, c, bcA, bcB) >= keepCost {
+		return crossPlan{c: c, keep: true, cost: keepCost, keepCost: keepCost, gt: gt}
+	}
+	st.fillCase2(scratch, mid, a, b, c, bcA, bcB)
+	plan := solveBip(scratch)
+	if plan.cost < keepCost {
+		prob := *scratch
+		return crossPlan{c: c, keep: false, prob: &prob, plan: plan, cost: plan.cost, keepCost: keepCost, gt: gt}
+	}
+	return crossPlan{c: c, keep: true, cost: keepCost, keepCost: keepCost, gt: gt}
+}
+
+// evaluateMerge temporarily merges roots a and b, returning the full
+// decision and its saving (Eq. (8)), or nil when the merge is
+// infeasible (zero denominator, or it would exceed the height bound hb;
+// hb <= 0 means unbounded — the original SLUGGER).
+// evaluateMerge evaluates merging roots a and b. minSaving is a sound
+// pruning cutoff: because the numerator only grows as neighbor costs
+// accumulate, the evaluation aborts (returning nil) as soon as the
+// saving provably falls below minSaving — such a pair can neither win
+// the argmax nor pass the merging threshold.
+func (st *state) evaluateMerge(a, b int32, sweepA, sweepB map[int32]*blockCounts, hb int, minSaving float64) *mergeDecision {
+	if hb > 0 {
+		h := st.height[a]
+		if st.height[b] > h {
+			h = st.height[b]
+		}
+		if int(h)+1 > hb {
+			return nil
+		}
+	}
+	denom := st.rootCost(a) + st.rootCost(b) - st.crossLen(a, b)
+	if denom <= 0 {
+		return nil
+	}
+	// numCutoff is the largest numerator still achieving minSaving.
+	numCutoff := int64((1-minSaving)*float64(denom) + 1e-9)
+	dec := &mergeDecision{a: a, b: b}
+	dec.within = st.computeWithinPlan(a, b, sweepA[b])
+
+	num := st.hCost[a] + st.hCost[b] + 2 + dec.within.cost
+	if num > numCutoff {
+		return nil
+	}
+	var scratch bipProblem
+	addCross := func(c int32, eA, eB *crossEntry) bool {
+		cp := st.computeCrossPlan(st.next, a, b, c, eA, eB, sweepA[c], sweepB[c], &scratch)
+		dec.crosses = append(dec.crosses, cp)
+		num += cp.cost
+		return num <= numCutoff
+	}
+	for c, eA := range st.nbrs[a] {
+		if c != b {
+			if !addCross(c, eA, st.nbrs[b][c]) {
+				return nil
+			}
+		}
+	}
+	for c, eB := range st.nbrs[b] {
+		if c == a {
+			continue
+		}
+		if _, dup := st.nbrs[a][c]; dup {
+			continue
+		}
+		if !addCross(c, nil, eB) {
+			return nil
+		}
+	}
+	dec.numerator = num
+	dec.saving = 1 - float64(num)/float64(denom)
+	return dec
+}
+
+// commitMerge applies a merge decision: allocates the new supernode,
+// rewrites the encoding per the evaluated plans, and updates all
+// bookkeeping. Must be called with the state unchanged since the
+// decision was evaluated.
+func (st *state) commitMerge(dec *mergeDecision) int32 {
+	a, b := dec.a, dec.b
+	m := st.next
+	st.next++
+
+	// Materialize within(M).
+	var w []sedge
+	switch dec.within.scenario {
+	case withinKeep:
+		w = make([]sedge, 0, len(st.within[a])+len(st.within[b])+int(st.crossLen(a, b)))
+		w = append(w, st.within[a]...)
+		w = append(w, st.within[b]...)
+		if e, ok := st.nbrs[a][b]; ok {
+			w = append(w, e.edges...)
+		}
+	case withinRewrite:
+		w = append(w, st.within[a]...)
+		w = append(w, st.within[b]...)
+		w = append(w, st.materializeBip(dec.within.prob, &dec.within.plan)...)
+	case withinSelfLoop:
+		w = append(w, sedge{a: m, b: m, sign: 1})
+		for s, x := range [2]int32{a, b} {
+			switch dec.within.sideMode[s] {
+			case sideNLoopKeep:
+				w = append(w, sedge{a: x, b: x, sign: -1})
+				w = append(w, st.within[x]...)
+			case sideDrop:
+				// nothing: (M,M) alone covers the complete side
+			case sideNList:
+				w = st.appendWithinNonEdges(w, x, -1)
+			}
+		}
+		w = append(w, st.materializeBip(dec.within.prob, &dec.within.plan)...)
+	}
+
+	// Materialize the cross entries before mutating locators.
+	newEntries := make([]*crossEntry, len(dec.crosses))
+	for i := range dec.crosses {
+		cp := &dec.crosses[i]
+		var edges []sedge
+		if cp.keep {
+			edges = make([]sedge, 0, cp.keepCost)
+			if e, ok := st.nbrs[a][cp.c]; ok {
+				edges = append(edges, e.edges...)
+			}
+			if e, ok := st.nbrs[b][cp.c]; ok {
+				edges = append(edges, e.edges...)
+			}
+		} else {
+			edges = st.materializeBip(cp.prob, &cp.plan)
+		}
+		newEntries[i] = &crossEntry{edges: edges, gt: cp.gt}
+	}
+
+	var gtAB int64
+	if e, ok := st.nbrs[a][b]; ok {
+		gtAB = e.gt
+	}
+
+	// Allocate M.
+	st.parent = append(st.parent, -1)
+	st.child = append(st.child, [2]int32{a, b})
+	st.size = append(st.size, st.size[a]+st.size[b])
+	h := st.height[a]
+	if st.height[b] > h {
+		h = st.height[b]
+	}
+	st.height = append(st.height, h+1)
+	vs := make([]int32, 0, st.size[a]+st.size[b])
+	vs = append(vs, st.verts[a]...)
+	vs = append(vs, st.verts[b]...)
+	st.verts = append(st.verts, vs)
+	st.hCost = append(st.hCost, st.hCost[a]+st.hCost[b]+2)
+	st.within = append(st.within, w)
+	st.pcost = append(st.pcost, 0)
+	st.selfGT = append(st.selfGT, st.selfGT[a]+st.selfGT[b]+gtAB)
+	st.nbrs = append(st.nbrs, make(map[int32]*crossEntry, len(dec.crosses)))
+
+	// Swap in the new cross entries.
+	var crossTotal int64
+	for i := range dec.crosses {
+		cp := &dec.crosses[i]
+		c := cp.c
+		delete(st.nbrs[c], a)
+		delete(st.nbrs[c], b)
+		st.nbrs[c][m] = newEntries[i]
+		st.nbrs[m][c] = newEntries[i]
+		st.pcost[c] += int64(len(newEntries[i].edges)) - cp.keepCost
+		crossTotal += int64(len(newEntries[i].edges))
+	}
+	st.pcost[m] = int64(len(w)) + crossTotal
+
+	// Update locators and hierarchy.
+	for _, v := range st.verts[a] {
+		st.rootOf[v] = m
+		st.topUnit[v] = a
+	}
+	for _, v := range st.verts[b] {
+		st.rootOf[v] = m
+		st.topUnit[v] = b
+	}
+	st.parent[a] = m
+	st.parent[b] = m
+	st.within[a] = nil
+	st.within[b] = nil
+	st.nbrs[a] = nil
+	st.nbrs[b] = nil
+	st.pcost[a] = 0
+	st.pcost[b] = 0
+	return m
+}
+
+// totalCost recomputes the full encoding cost |P+|+|P-|+|H| from the
+// bookkeeping (used by tests and instrumentation; O(#roots + #entries)).
+func (st *state) totalCost() int64 {
+	var total int64
+	for _, r := range st.roots() {
+		total += st.hCost[r] + int64(len(st.within[r]))
+		for c, e := range st.nbrs[r] {
+			if c > r {
+				total += int64(len(e.edges))
+			}
+		}
+	}
+	return total
+}

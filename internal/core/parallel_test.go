@@ -1,0 +1,49 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Parallel partner evaluation must be bit-identical to the serial run:
+// evaluations are pure reads and the argmax scans in index order.
+func TestParallelMatchesSerial(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Caveman(6, 8, 4, 3),
+		graph.HierCommunity(graph.HierParams{
+			Levels: 2, Branching: 4, LeafSize: 6,
+			Density: []float64{0.01, 0.15, 0.8},
+		}, 5),
+		graph.ErdosRenyi(120, 400, 7),
+	}
+	for gi, g := range graphs {
+		serial, sStats := Summarize(g, Config{T: 6, Seed: 11})
+		parallel, pStats := Summarize(g, Config{T: 6, Seed: 11, Workers: 4})
+		if serial.Cost() != parallel.Cost() {
+			t.Fatalf("graph %d: serial cost %d != parallel cost %d",
+				gi, serial.Cost(), parallel.Cost())
+		}
+		if sStats.Merges != pStats.Merges {
+			t.Fatalf("graph %d: serial merges %d != parallel merges %d",
+				gi, sStats.Merges, pStats.Merges)
+		}
+		if serial.NumSupernodes() != parallel.NumSupernodes() {
+			t.Fatalf("graph %d: supernode counts differ", gi)
+		}
+		if err := parallel.Validate(g); err != nil {
+			t.Fatalf("graph %d: parallel run not lossless: %v", gi, err)
+		}
+	}
+}
+
+// Run a parallel summarization under the race detector's eye (the test
+// is meaningful with `go test -race`).
+func TestParallelNoRaces(t *testing.T) {
+	g := graph.Caveman(8, 10, 6, 9)
+	sum, _ := Summarize(g, Config{T: 8, Seed: 13, Workers: runtime.NumCPU()})
+	if err := sum.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,448 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// This file implements the pruning step of Sect. III-B4 / Algorithm 3.
+// Pruning operates on a dedicated mutable view of the model (per-pair
+// net counts plus the hierarchy forest) because, unlike merging, it can
+// splice arbitrary nodes out of the middle of trees. All three substeps
+// preserve the represented graph exactly.
+
+// PruneSnapshot captures the model statistics after a pruning substep
+// (the Table IV metrics).
+type PruneSnapshot struct {
+	Cost         int64
+	MaxHeight    int
+	AvgLeafDepth float64
+}
+
+type pruner struct {
+	st       *state
+	parent   []int32
+	children [][]int32
+	alive    []bool
+	adj      []map[int32]int32 // supernode -> partner -> net (nonzero)
+	totalPN  int64             // sum over pairs of |net|
+	totalH   int64             // alive supernodes with a parent
+	rng      *rand.Rand
+}
+
+func newPruner(st *state) *pruner {
+	total := int(st.next)
+	p := &pruner{
+		st:       st,
+		parent:   append([]int32(nil), st.parent...),
+		children: make([][]int32, total),
+		alive:    make([]bool, total),
+		adj:      make([]map[int32]int32, total),
+		rng:      st.rng,
+	}
+	for id := 0; id < total; id++ {
+		p.alive[id] = true
+		p.adj[id] = make(map[int32]int32)
+		if pr := st.parent[id]; pr >= 0 {
+			p.children[pr] = append(p.children[pr], int32(id))
+			p.totalH++
+		}
+	}
+	for _, r := range st.roots() {
+		for _, e := range st.within[r] {
+			p.addNet(e.a, e.b, int32(e.sign))
+		}
+		for c, entry := range st.nbrs[r] {
+			if c > r {
+				continue // each entry shared by both endpoints; add once
+			}
+			for _, e := range entry.edges {
+				p.addNet(e.a, e.b, int32(e.sign))
+			}
+		}
+	}
+	return p
+}
+
+// addNet adjusts the net signed-edge count between supernodes a and b.
+func (p *pruner) addNet(a, b int32, delta int32) {
+	if delta == 0 {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	old := p.adj[a][b]
+	nw := old + delta
+	p.totalPN += int64(absInt32(nw)) - int64(absInt32(old))
+	if nw == 0 {
+		delete(p.adj[a], b)
+		if a != b {
+			delete(p.adj[b], a)
+		}
+		return
+	}
+	p.adj[a][b] = nw
+	if a != b {
+		p.adj[b][a] = nw
+	}
+}
+
+func absInt32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// cost returns |P+| + |P-| + |H| of the current pruned model.
+func (p *pruner) cost() int64 { return p.totalPN + p.totalH }
+
+// snapshot computes the Table IV metrics.
+func (p *pruner) snapshot() PruneSnapshot {
+	maxH := 0
+	sum := 0
+	for v := int32(0); v < p.st.n; v++ {
+		d := 0
+		node := v
+		for p.parent[node] >= 0 {
+			node = p.parent[node]
+			d++
+		}
+		sum += d
+		if d > maxH {
+			maxH = d
+		}
+	}
+	return PruneSnapshot{
+		Cost:         p.cost(),
+		MaxHeight:    maxH,
+		AvgLeafDepth: float64(sum) / float64(maxInt(1, int(p.st.n))),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// detach removes supernode a from the forest, splicing its children to
+// a's parent (or making them roots), and updates h-edge accounting.
+// a's incident p/n edges must already be gone or be handled by the
+// caller.
+func (p *pruner) detach(a int32) []int32 {
+	kids := p.children[a]
+	pr := p.parent[a]
+	if pr >= 0 {
+		// a's own h-edge disappears; children's h-edges are redirected.
+		p.totalH--
+		p.children[pr] = removeChild(p.children[pr], a)
+		for _, c := range kids {
+			p.parent[c] = pr
+			p.children[pr] = append(p.children[pr], c)
+		}
+	} else {
+		// children become roots.
+		p.totalH -= int64(len(kids))
+		for _, c := range kids {
+			p.parent[c] = -1
+		}
+	}
+	p.alive[a] = false
+	p.children[a] = nil
+	p.parent[a] = -1
+	return kids
+}
+
+func removeChild(kids []int32, a int32) []int32 {
+	for i, c := range kids {
+		if c == a {
+			kids[i] = kids[len(kids)-1]
+			return kids[:len(kids)-1]
+		}
+	}
+	return kids
+}
+
+// step1 removes every non-leaf supernode with no incident p/n-edge
+// (Algorithm 3, lines 2-12). Each removal saves one h-edge (or more for
+// roots).
+func (p *pruner) step1() bool {
+	changed := false
+	queue := make([]int32, 0, p.st.next)
+	for id := int32(0); id < p.st.next; id++ {
+		if p.alive[id] {
+			queue = append(queue, id)
+		}
+	}
+	p.rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !p.alive[a] || len(p.children[a]) == 0 || len(p.adj[a]) != 0 {
+			continue
+		}
+		kids := p.detach(a)
+		queue = append(queue, kids...)
+		changed = true
+	}
+	return changed
+}
+
+// step2 removes every non-leaf root with exactly one incident non-loop
+// p/n-edge, pushing the edge down to its children with type flips
+// (Algorithm 3, lines 13-27).
+func (p *pruner) step2() bool {
+	changed := false
+	var queue []int32
+	for id := int32(0); id < p.st.next; id++ {
+		if p.alive[id] && p.parent[id] < 0 {
+			queue = append(queue, id)
+		}
+	}
+	p.rng.Shuffle(len(queue), func(i, j int) { queue[i], queue[j] = queue[j], queue[i] })
+	for len(queue) > 0 {
+		a := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !p.alive[a] || p.parent[a] >= 0 || len(p.children[a]) == 0 || len(p.adj[a]) != 1 {
+			continue
+		}
+		var b, net int32
+		for partner, n := range p.adj[a] {
+			b, net = partner, n
+		}
+		if b == a || absInt32(net) != 1 {
+			continue // self-loop or multi-edge: not eligible
+		}
+		p.addNet(a, b, -net)
+		kids := p.detach(a)
+		for _, c := range kids {
+			p.addNet(c, b, net)
+		}
+		queue = append(queue, kids...)
+		changed = true
+	}
+	return changed
+}
+
+// step3 compares, for every adjacent root pair, the current encoding of
+// the edges between their trees against the optimal flat-model encoding
+// min(|E_AB|, 1 + |T_AB| - |E_AB|), and adopts the flat encoding when
+// strictly cheaper (the previous model is a special case of the
+// hierarchical one, Sect. II-B).
+func (p *pruner) step3() bool {
+	rootMemo := make([]int32, p.st.next)
+	for i := range rootMemo {
+		rootMemo[i] = -1
+	}
+	var rootOfSuper func(x int32) int32
+	rootOfSuper = func(x int32) int32 {
+		if rootMemo[x] >= 0 {
+			return rootMemo[x]
+		}
+		r := x
+		if p.parent[x] >= 0 {
+			r = rootOfSuper(p.parent[x])
+		}
+		rootMemo[x] = r
+		return r
+	}
+
+	// Current encoding cost and pair list per root pair.
+	type bucket struct {
+		cur   int64
+		pairs [][2]int32
+		gt    int64
+	}
+	buckets := make(map[uint64]*bucket)
+	key := func(x, y int32) uint64 {
+		if x > y {
+			x, y = y, x
+		}
+		return uint64(x)<<32 | uint64(uint32(y))
+	}
+	for a := int32(0); a < p.st.next; a++ {
+		for b, net := range p.adj[a] {
+			if b < a {
+				continue
+			}
+			ra, rb := rootOfSuper(a), rootOfSuper(b)
+			if ra == rb {
+				continue // within-tree encodings are not touched by step 3
+			}
+			k := key(ra, rb)
+			bk := buckets[k]
+			if bk == nil {
+				bk = &bucket{}
+				buckets[k] = bk
+			}
+			bk.cur += int64(absInt32(net))
+			bk.pairs = append(bk.pairs, [2]int32{a, b})
+		}
+	}
+	// Ground-truth cross counts per root pair.
+	st := p.st
+	for v := int32(0); v < st.n; v++ {
+		rv := rootOfSuper(v)
+		for _, w := range st.g.Neighbors(v) {
+			if w <= v {
+				continue
+			}
+			rw := rootOfSuper(w)
+			if rv == rw {
+				continue
+			}
+			k := key(rv, rw)
+			bk := buckets[k]
+			if bk == nil {
+				bk = &bucket{}
+				buckets[k] = bk
+			}
+			bk.gt++
+		}
+	}
+
+	// Decide replacements.
+	type replacement struct {
+		ra, rb    int32
+		superedge bool
+	}
+	replaced := make(map[uint64]*replacement)
+	changed := false
+	for k, bk := range buckets {
+		ra := int32(k >> 32)
+		rb := int32(uint32(k))
+		t := int64(st.size[ra]) * int64(st.size[rb])
+		flat := bk.gt
+		superedge := false
+		if 1+t-bk.gt < flat {
+			flat = 1 + t - bk.gt
+			superedge = true
+		}
+		if flat >= bk.cur {
+			continue
+		}
+		for _, pr := range bk.pairs {
+			p.addNet(pr[0], pr[1], -p.adj[pr[0]][pr[1]])
+		}
+		replaced[k] = &replacement{ra: ra, rb: rb, superedge: superedge}
+		if superedge {
+			p.addNet(ra, rb, 1)
+			p.addMissingPairs(ra, rb)
+		}
+		changed = true
+	}
+	if len(replaced) > 0 {
+		// One sweep over the graph materializes the listed subedges of
+		// every replaced pair that chose listing.
+		for v := int32(0); v < st.n; v++ {
+			rv := rootOfSuper(v)
+			for _, w := range st.g.Neighbors(v) {
+				if w <= v {
+					continue
+				}
+				rw := rootOfSuper(w)
+				if rv == rw {
+					continue
+				}
+				if rep, ok := replaced[key(rv, rw)]; ok && !rep.superedge {
+					p.addNet(v, w, 1)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// addMissingPairs adds an n-edge for every non-adjacent vertex pair
+// between the trees of roots ra and rb.
+func (p *pruner) addMissingPairs(ra, rb int32) {
+	st := p.st
+	for _, u := range st.verts[ra] {
+		ep := st.nextEpoch()
+		for _, w := range st.g.Neighbors(u) {
+			st.mark[w] = ep
+		}
+		for _, w := range st.verts[rb] {
+			if st.mark[w] != ep {
+				p.addNet(u, w, -1)
+			}
+		}
+	}
+}
+
+// run executes the pruning substeps for the given number of rounds,
+// invoking hook (if non-nil) with the round, substep index and a
+// snapshot after every substep. Substep 0 of round 1 is the pre-pruning
+// state. It stops early when a full round changes nothing.
+func (p *pruner) run(rounds int, hook func(round, substep int, snap PruneSnapshot)) {
+	if hook != nil {
+		hook(1, 0, p.snapshot())
+	}
+	for round := 1; round <= rounds; round++ {
+		changed := false
+		for stepIdx, step := range []func() bool{p.step1, p.step2, p.step3} {
+			if step() {
+				changed = true
+			}
+			if hook != nil {
+				hook(round, stepIdx+1, p.snapshot())
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// emit converts the pruned state into an immutable model.Summary,
+// renumbering surviving internal supernodes densely after the leaves.
+func (p *pruner) emit() *model.Summary {
+	st := p.st
+	remap := make([]int32, st.next)
+	for i := range remap {
+		remap[i] = -1
+	}
+	nextID := st.n
+	for id := int32(0); id < st.next; id++ {
+		if !p.alive[id] {
+			continue
+		}
+		if id < st.n {
+			remap[id] = id
+		} else {
+			remap[id] = nextID
+			nextID++
+		}
+	}
+	parent := make([]int32, nextID)
+	for id := int32(0); id < st.next; id++ {
+		if !p.alive[id] {
+			continue
+		}
+		if pr := p.parent[id]; pr >= 0 {
+			parent[remap[id]] = remap[pr]
+		} else {
+			parent[remap[id]] = -1
+		}
+	}
+	var edges []model.Edge
+	for a := int32(0); a < st.next; a++ {
+		for b, net := range p.adj[a] {
+			if b < a {
+				continue
+			}
+			sign := int8(1)
+			if net < 0 {
+				sign = -1
+			}
+			for k := int32(0); k < absInt32(net); k++ {
+				edges = append(edges, model.Edge{A: remap[a], B: remap[b], Sign: sign})
+			}
+		}
+	}
+	return model.New(int(st.n), parent, edges)
+}

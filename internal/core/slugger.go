@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Config holds the SLUGGER parameters. The zero value is usable;
+// defaults match the paper's experimental settings (Sect. IV-A).
+type Config struct {
+	// T is the number of candidate-generation + merging iterations
+	// (default 20, as in the paper).
+	T int
+	// Hb bounds the height of hierarchy trees; 0 means unbounded (the
+	// original SLUGGER). Used for the Table V experiment.
+	Hb int
+	// MaxGroup caps candidate set sizes (default 500, as in the paper).
+	MaxGroup int
+	// MaxLevels caps shingle re-splitting depth (default 10).
+	MaxLevels int
+	// PruneRounds repeats the three pruning substeps (default 3,
+	// "these three substeps can be repeated a few times").
+	PruneRounds int
+	// SkipPrune disables the pruning step entirely (Table IV state 0).
+	SkipPrune bool
+	// Seed drives all randomness; runs are deterministic given a seed.
+	Seed int64
+	// Workers sets the number of concurrent partner evaluations during
+	// merging (default 1 = serial). Evaluations are read-only, so any
+	// worker count produces exactly the same summary as a serial run.
+	Workers int
+
+	// OnIteration, if non-nil, is invoked after each merging iteration
+	// with the iteration number (1-based) and the current encoding cost.
+	OnIteration func(t int, cost int64)
+	// OnPruneSubstep, if non-nil, receives a snapshot after every
+	// pruning substep (substep 0 is the pre-pruning state).
+	OnPruneSubstep func(round, substep int, snap PruneSnapshot)
+}
+
+func (c Config) withDefaults() Config {
+	if c.T <= 0 {
+		c.T = 20
+	}
+	if c.MaxGroup <= 0 {
+		c.MaxGroup = 500
+	}
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 10
+	}
+	if c.PruneRounds <= 0 {
+		c.PruneRounds = 3
+	}
+	return c
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Iterations      int
+	Merges          int
+	CostBeforePrune int64
+	FinalCost       int64
+}
+
+// Threshold returns the merging threshold θ(t) of Eq. (9).
+func Threshold(t, T int) float64 {
+	if t >= T {
+		return 0
+	}
+	return 1 / float64(1+t)
+}
+
+// Summarize runs SLUGGER (Algorithm 1) on g and returns the pruned
+// hierarchical summary together with run statistics. The output model
+// represents g exactly.
+func Summarize(g *graph.Graph, cfg Config) (*model.Summary, Stats) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	st := newState(g, rng)
+	if cfg.Workers > 1 {
+		st.workers = cfg.Workers
+	} else {
+		st.workers = 1
+	}
+	stats := Stats{Iterations: cfg.T}
+
+	for t := 1; t <= cfg.T; t++ {
+		theta := Threshold(t, cfg.T)
+		for _, group := range st.generateCandidates(t, cfg.MaxGroup, cfg.MaxLevels, cfg.Seed) {
+			stats.Merges += st.processGroup(group, theta, cfg.Hb)
+		}
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(t, st.totalCost())
+		}
+	}
+	stats.CostBeforePrune = st.totalCost()
+
+	pr := newPruner(st)
+	if !cfg.SkipPrune {
+		pr.run(cfg.PruneRounds, cfg.OnPruneSubstep)
+	}
+	sum := pr.emit()
+	stats.FinalCost = sum.Cost()
+	return sum, stats
+}

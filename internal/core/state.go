@@ -1,0 +1,256 @@
+// Package core implements SLUGGER (Scalable Lossless Summarization of
+// Graphs with Hierarchy), the algorithm of Sect. III of the paper. It
+// greedily merges root supernodes while maintaining an exact signed-edge
+// encoding of the input graph, then prunes supernodes that do not
+// contribute to a succinct encoding.
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// runChunks splits [0,n) into up to `workers` contiguous chunks and
+// runs fn on each concurrently, blocking until all complete.
+func runChunks(workers, n int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sedge is a signed superedge; sign is +1 (p-edge) or -1 (n-edge).
+type sedge struct {
+	a, b int32
+	sign int8
+}
+
+// crossEntry holds, for one unordered pair of root supernodes, the
+// signed edges currently encoding the bipartite adjacency between the
+// two hierarchy trees, and the ground-truth subedge count between them.
+//
+// Invariant: the edges of an entry always encode the bipartite
+// adjacency between the trees exactly, with per-subnode-pair net counts
+// in {0,1}.
+type crossEntry struct {
+	edges []sedge
+	gt    int64
+}
+
+// state is the mutable summarization state of Algorithm 1.
+// Supernode ids 0..n-1 are the input vertices (leaves); merges allocate
+// fresh ids upward. During the merge phase the hierarchy is binary.
+type state struct {
+	g *graph.Graph
+	n int32 // number of vertices
+
+	// Hierarchy (indexed by supernode id).
+	parent []int32
+	child  [][2]int32 // {-1,-1} for leaves
+	size   []int32    // number of subnodes
+	height []int32    // height of the subtree rooted here
+	verts  [][]int32  // subnodes (leaves alias a shared backing array)
+
+	// Per-vertex locators.
+	rootOf  []int32 // current root supernode of each vertex
+	topUnit []int32 // child-of-root supernode containing each vertex
+	// (equals the vertex itself while its root is a leaf)
+
+	// Encoding bookkeeping (valid at root ids only).
+	hCost  []int64                 // h-edges in the subtree (2 per merge)
+	within [][]sedge               // edges with both endpoints inside the tree
+	pcost  []int64                 // len(within) + sum of incident cross entries
+	selfGT []int64                 // ground-truth subedge count within the tree
+	nbrs   []map[int32]*crossEntry // adjacent root -> shared entry
+
+	next    int32 // next fresh supernode id
+	rng     *rand.Rand
+	workers int // concurrent partner evaluations (1 = serial)
+
+	// Epoch-stamped scratch marks over vertices.
+	mark  []int32
+	epoch int32
+}
+
+func newState(g *graph.Graph, rng *rand.Rand) *state {
+	n := int32(g.NumNodes())
+	cap := 2*n + 1
+	st := &state{
+		g:       g,
+		n:       n,
+		parent:  make([]int32, n, cap),
+		child:   make([][2]int32, n, cap),
+		size:    make([]int32, n, cap),
+		height:  make([]int32, n, cap),
+		verts:   make([][]int32, n, cap),
+		rootOf:  make([]int32, n),
+		topUnit: make([]int32, n),
+		hCost:   make([]int64, n, cap),
+		within:  make([][]sedge, n, cap),
+		pcost:   make([]int64, n, cap),
+		selfGT:  make([]int64, n, cap),
+		nbrs:    make([]map[int32]*crossEntry, n, cap),
+		next:    n,
+		rng:     rng,
+		mark:    make([]int32, n),
+	}
+	leafIDs := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		leafIDs[v] = v
+		st.parent[v] = -1
+		st.child[v] = [2]int32{-1, -1}
+		st.size[v] = 1
+		st.verts[v] = leafIDs[v : v+1]
+		st.rootOf[v] = v
+		st.topUnit[v] = v
+		st.nbrs[v] = make(map[int32]*crossEntry)
+	}
+	// Initialize G to G: one p-edge per subedge (Algorithm 1 lines 1-4).
+	g.ForEachEdge(func(u, v int32) {
+		e := &crossEntry{edges: []sedge{{a: u, b: v, sign: 1}}, gt: 1}
+		st.nbrs[u][v] = e
+		st.nbrs[v][u] = e
+		st.pcost[u]++
+		st.pcost[v]++
+	})
+	return st
+}
+
+// roots returns all current root supernode ids.
+func (st *state) roots() []int32 {
+	out := make([]int32, 0, st.n)
+	for id := int32(0); id < st.next; id++ {
+		if st.parent[id] == -1 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// isLeaf reports whether supernode id is a vertex.
+func (st *state) isLeaf(id int32) bool { return id < st.n }
+
+// atomsOf returns the "atom" supernodes of root r: its direct children,
+// or r itself if r is a leaf. Atoms partition the subnodes of r and are
+// the finest granularity of the Fig. 4 panels.
+func (st *state) atomsOf(r int32) [2]int32 {
+	if st.child[r][0] == -1 {
+		return [2]int32{r, -1}
+	}
+	return st.child[r]
+}
+
+// numAtoms returns 1 or 2 for atomsOf's result.
+func numAtoms(a [2]int32) int {
+	if a[1] == -1 {
+		return 1
+	}
+	return 2
+}
+
+// atomIndex maps a topUnit value to the 0/1 index within atomsOf(r).
+func atomIndex(atoms [2]int32, unit int32) int {
+	if unit == atoms[0] {
+		return 0
+	}
+	return 1
+}
+
+// nextEpoch advances the vertex mark epoch.
+func (st *state) nextEpoch() int32 {
+	st.epoch++
+	return st.epoch
+}
+
+// markVerts stamps the vertices of supernode sn with the current epoch.
+func (st *state) markVerts(sn int32, epoch int32) {
+	for _, v := range st.verts[sn] {
+		st.mark[v] = epoch
+	}
+}
+
+// crossLen returns the number of signed edges currently encoding the
+// adjacency between root trees a and b (0 if not adjacent).
+func (st *state) crossLen(a, b int32) int64 {
+	if e, ok := st.nbrs[a][b]; ok {
+		return int64(len(e.edges))
+	}
+	return 0
+}
+
+// rootCost returns Cost_A(G) = Cost^H_A + Cost^P_A for root a (Eq. (6)).
+func (st *state) rootCost(a int32) int64 {
+	return st.hCost[a] + st.pcost[a]
+}
+
+// blockCounts accumulates subedge counts between the atoms of a swept
+// root and the atoms of each adjacent root.
+type blockCounts struct {
+	cnt [2][2]int64 // [sweptAtomIdx][targetAtomIdx]
+}
+
+// sweep counts, for root X, the subedges from X's atoms to the atoms of
+// every other adjacent root. Complexity O(sum of degrees in X), the
+// bound used in Lemma 3.
+func (st *state) sweep(x int32) map[int32]*blockCounts {
+	out := make(map[int32]*blockCounts)
+	atoms := st.atomsOf(x)
+	for _, u := range st.verts[x] {
+		la := atomIndex(atoms, st.topUnit[u])
+		for _, w := range st.g.Neighbors(u) {
+			c := st.rootOf[w]
+			if c == x {
+				continue
+			}
+			bc := out[c]
+			if bc == nil {
+				bc = &blockCounts{}
+				out[c] = bc
+			}
+			catoms := st.atomsOf(c)
+			bc.cnt[la][atomIndex(catoms, st.topUnit[w])]++
+		}
+	}
+	return out
+}
+
+// countBlock counts the subedges between the vertex sets of supernodes
+// x and y (assumed disjoint), in O(|y| + sum of degrees in x).
+func (st *state) countBlock(x, y int32) int64 {
+	ep := st.nextEpoch()
+	st.markVerts(y, ep)
+	var cnt int64
+	for _, u := range st.verts[x] {
+		for _, w := range st.g.Neighbors(u) {
+			if st.mark[w] == ep {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// pairsWithin returns the number of unordered vertex pairs inside a
+// supernode of the given size.
+func pairsWithin(size int32) int64 {
+	s := int64(size)
+	return s * (s - 1) / 2
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bruteBlockCount counts subedges between the vertex sets of two
+// supernodes directly from the graph.
+func bruteBlockCount(st *state, g *graph.Graph, x, y int32) int64 {
+	var cnt int64
+	for _, u := range st.verts[x] {
+		for _, w := range st.verts[y] {
+			if g.HasEdge(u, w) {
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+// mergeRandomPair merges one random feasible root pair, returning the
+// new supernode id or -1.
+func mergeRandomPair(st *state, rng *rand.Rand) int32 {
+	roots := st.roots()
+	for tries := 0; tries < 20; tries++ {
+		a := roots[rng.Intn(len(roots))]
+		b := roots[rng.Intn(len(roots))]
+		if a == b {
+			continue
+		}
+		dec := st.evaluateMerge(a, b, st.sweep(a), st.sweep(b), 0, -1e18)
+		if dec == nil {
+			continue
+		}
+		return st.commitMerge(dec)
+	}
+	return -1
+}
+
+func TestSweepMatchesBruteForce(t *testing.T) {
+	g := graph.ErdosRenyi(40, 160, 3)
+	rng := rand.New(rand.NewSource(1))
+	st := newState(g, rng)
+	for k := 0; k < 10; k++ {
+		mergeRandomPair(st, rng)
+	}
+	for _, x := range st.roots() {
+		sw := st.sweep(x)
+		xa := st.atomsOf(x)
+		for c, bc := range sw {
+			ca := st.atomsOf(c)
+			for i := 0; i < numAtoms(xa); i++ {
+				for j := 0; j < numAtoms(ca); j++ {
+					want := bruteBlockCount(st, g, xa[i], ca[j])
+					if bc.cnt[i][j] != want {
+						t.Fatalf("sweep(%d)[%d].cnt[%d][%d] = %d, want %d",
+							x, c, i, j, bc.cnt[i][j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSelfGTMatchesBruteForce(t *testing.T) {
+	g := graph.Caveman(3, 6, 4, 5)
+	rng := rand.New(rand.NewSource(2))
+	st := newState(g, rng)
+	for k := 0; k < 12; k++ {
+		mergeRandomPair(st, rng)
+	}
+	for _, r := range st.roots() {
+		var want int64
+		vs := st.verts[r]
+		for i, u := range vs {
+			for _, w := range vs[i+1:] {
+				if g.HasEdge(u, w) {
+					want++
+				}
+			}
+		}
+		if st.selfGT[r] != want {
+			t.Fatalf("selfGT[%d] = %d, want %d", r, st.selfGT[r], want)
+		}
+	}
+}
+
+func TestLocatorsAfterMerges(t *testing.T) {
+	g := graph.ErdosRenyi(30, 90, 7)
+	rng := rand.New(rand.NewSource(3))
+	st := newState(g, rng)
+	for k := 0; k < 8; k++ {
+		mergeRandomPair(st, rng)
+	}
+	for v := int32(0); v < st.n; v++ {
+		// rootOf must be a root containing v.
+		r := st.rootOf[v]
+		if st.parent[r] != -1 {
+			t.Fatalf("rootOf[%d] = %d is not a root", v, r)
+		}
+		found := false
+		for _, u := range st.verts[r] {
+			if u == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("vertex %d not in verts of its root %d", v, r)
+		}
+		// topUnit must be v itself (leaf root) or a child of the root.
+		tu := st.topUnit[v]
+		if r == v {
+			if tu != v {
+				t.Fatalf("leaf root %d has topUnit %d", v, tu)
+			}
+		} else if st.parent[tu] != r {
+			t.Fatalf("topUnit[%d] = %d is not a child of root %d", v, tu, r)
+		}
+	}
+}
+
+func TestCrossEntriesSymmetric(t *testing.T) {
+	g := graph.ErdosRenyi(30, 90, 11)
+	rng := rand.New(rand.NewSource(4))
+	st := newState(g, rng)
+	for k := 0; k < 8; k++ {
+		mergeRandomPair(st, rng)
+	}
+	for _, r := range st.roots() {
+		for c, e := range st.nbrs[r] {
+			if e2, ok := st.nbrs[c][r]; !ok || e2 != e {
+				t.Fatalf("entry (%d,%d) not shared symmetrically", r, c)
+			}
+			if e.gt <= 0 {
+				t.Fatalf("entry (%d,%d) has gt=%d", r, c, e.gt)
+			}
+		}
+	}
+}
+
+func TestRootCostDecomposition(t *testing.T) {
+	// The Eq. (8) denominator must be positive for adjacent roots and
+	// the per-root cost must match Eq. (6)'s decomposition.
+	g := graph.Caveman(3, 5, 2, 13)
+	rng := rand.New(rand.NewSource(5))
+	st := newState(g, rng)
+	mergeRandomPair(st, rng)
+	for _, r := range st.roots() {
+		want := st.hCost[r] + int64(len(st.within[r]))
+		for _, e := range st.nbrs[r] {
+			want += int64(len(e.edges))
+		}
+		if st.rootCost(r) != want {
+			t.Fatalf("rootCost(%d) = %d, want %d", r, st.rootCost(r), want)
+		}
+	}
+}
+
+func TestSweepCacheAfterMergeConsistent(t *testing.T) {
+	g := graph.ErdosRenyi(40, 160, 17)
+	rng := rand.New(rand.NewSource(6))
+	st := newState(g, rng)
+	sc := newSweepCache(st)
+	roots := st.roots()
+	// Warm the cache for several roots.
+	for _, r := range roots[:10] {
+		sc.get(r)
+	}
+	// Merge two of them and verify every cached sweep equals a fresh one.
+	var dec *mergeDecision
+	var a, b int32
+	for i := 0; i < len(roots)-1 && dec == nil; i++ {
+		a, b = roots[i], roots[i+1]
+		dec = st.evaluateMerge(a, b, sc.get(a), sc.get(b), 0, -1e18)
+	}
+	if dec == nil {
+		t.Fatal("no feasible pair found")
+	}
+	sweepA, sweepB := sc.get(a), sc.get(b)
+	m := st.commitMerge(dec)
+	sc.afterMerge(a, b, m, sweepA, sweepB)
+	for r, cached := range sc.m {
+		fresh := st.sweep(r)
+		if len(cached) != len(fresh) {
+			t.Fatalf("sweep(%d): cached %d targets, fresh %d", r, len(cached), len(fresh))
+		}
+		for c, bc := range fresh {
+			got, ok := cached[c]
+			if !ok {
+				t.Fatalf("sweep(%d): missing target %d", r, c)
+			}
+			if got.cnt != bc.cnt {
+				t.Fatalf("sweep(%d)[%d]: cached %v, fresh %v", r, c, got.cnt, bc.cnt)
+			}
+		}
+	}
+}
+
+func TestRootShinglesEqualNeighborhoodsMatch(t *testing.T) {
+	// Twin vertices share closed neighborhoods and hence shingles.
+	g := graph.BipartiteCores(1, 2, 5, 0, 3)
+	st := newState(g, rand.New(rand.NewSource(1)))
+	sh := st.rootShingles(99)
+	if sh[0] != sh[1] {
+		t.Fatalf("twin roots have different shingles: %d vs %d", sh[0], sh[1])
+	}
+}
+
+func TestGenerateCandidatesCoverRoots(t *testing.T) {
+	g := graph.Caveman(4, 8, 2, 19)
+	st := newState(g, rand.New(rand.NewSource(2)))
+	groups := st.generateCandidates(1, 10, 5, 3)
+	seen := map[int32]bool{}
+	for _, grp := range groups {
+		if len(grp) > 10 {
+			t.Fatalf("group exceeds cap: %d", len(grp))
+		}
+		for _, r := range grp {
+			if seen[r] {
+				t.Fatalf("root %d in two groups", r)
+			}
+			seen[r] = true
+		}
+	}
+	// Every clique's members should mostly land somewhere (singleton
+	// groups are dropped, so just require substantial coverage).
+	if len(seen) < g.NumNodes()/2 {
+		t.Fatalf("only %d of %d roots grouped", len(seen), g.NumNodes())
+	}
+}

@@ -1,0 +1,125 @@
+package digraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestFromEdgesBasics(t *testing.T) {
+	d := FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 1}, {2, 2}})
+	if d.NumNodes() != 3 {
+		t.Fatalf("nodes = %d", d.NumNodes())
+	}
+	if d.NumEdges() != 3 { // duplicate removed, self-loop kept
+		t.Fatalf("edges = %d, want 3", d.NumEdges())
+	}
+	if !d.HasEdge(0, 1) || d.HasEdge(1, 0) {
+		t.Fatal("direction not respected")
+	}
+	if !d.HasEdge(2, 2) {
+		t.Fatal("self-loop lost")
+	}
+	if len(d.In(1)) != 1 || d.In(1)[0] != 0 {
+		t.Fatalf("In(1) = %v", d.In(1))
+	}
+}
+
+func TestReadEdgeListDirected(t *testing.T) {
+	d, err := ReadEdgeList(strings.NewReader("# c\n0 1\n1 0\n2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges() != 3 {
+		t.Fatalf("edges = %d", d.NumEdges())
+	}
+	if !d.HasEdge(0, 1) || !d.HasEdge(1, 0) {
+		t.Fatal("antiparallel pair should be two edges")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("x y\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCoverStructure(t *testing.T) {
+	d := FromEdges(2, [][2]int32{{0, 1}, {1, 0}})
+	c := d.Cover()
+	if c.NumNodes() != 4 {
+		t.Fatalf("cover nodes = %d", c.NumNodes())
+	}
+	// 0->1 becomes {0, 3}; 1->0 becomes {1, 2}.
+	if !c.HasEdge(0, 3) || !c.HasEdge(1, 2) {
+		t.Fatal("cover edges wrong")
+	}
+	if c.HasEdge(0, 1) || c.HasEdge(2, 3) {
+		t.Fatal("cover must be bipartite between ports")
+	}
+}
+
+func TestSummarizeDirectedLossless(t *testing.T) {
+	// A directed "broadcast" structure: sources 0..3 all point to sinks
+	// 4..9; compresses to a single p-edge between two supernodes.
+	var edges [][2]int32
+	for u := int32(0); u < 4; u++ {
+		for v := int32(4); v < 10; v++ {
+			edges = append(edges, [2]int32{u, v})
+		}
+	}
+	d := FromEdges(10, edges)
+	s, _ := Summarize(d, core.Config{T: 10, Seed: 3})
+	if err := s.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() >= d.NumEdges() {
+		t.Fatalf("cost %d did not compress below %d directed edges", s.Cost(), d.NumEdges())
+	}
+}
+
+func TestOutInNeighborsFromSummary(t *testing.T) {
+	d := FromEdges(4, [][2]int32{{0, 1}, {0, 2}, {3, 0}})
+	s, _ := Summarize(d, core.Config{T: 5, Seed: 1})
+	out := s.OutNeighbors(0)
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("OutNeighbors(0) = %v", out)
+	}
+	in := s.InNeighbors(0)
+	if len(in) != 1 || in[0] != 3 {
+		t.Fatalf("InNeighbors(0) = %v", in)
+	}
+	if !s.HasEdge(0, 1) || s.HasEdge(1, 0) {
+		t.Fatal("HasEdge direction wrong")
+	}
+}
+
+func TestSummarizeDirectedProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test skipped in -short mode")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		m := rng.Intn(4 * n)
+		edges := make([][2]int32, 0, m)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		d := FromEdges(n, edges)
+		s, _ := Summarize(d, core.Config{T: 4, Seed: seed})
+		return s.Validate(d) == nil && Equal(s.Decode(), d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromEdges(3, [][2]int32{{0, 1}})
+	b := FromEdges(3, [][2]int32{{0, 1}})
+	c := FromEdges(3, [][2]int32{{1, 0}})
+	if !Equal(a, b) || Equal(a, c) {
+		t.Fatal("Equal wrong")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/lossy"
+
+	"repro/internal/baselines/sweg"
+)
+
+// AblationRow reports one configuration of the design-choice ablation.
+type AblationRow struct {
+	Config       string
+	RelativeSize float64
+}
+
+// Ablation quantifies SLUGGER's design choices on one dataset:
+// the pruning pass (Sect. III-B4), the candidate-set size cap
+// (Sect. III-B2, default 500; the supplementary material studies its
+// effect), and the declining threshold schedule (approximated by T=1,
+// which keeps only the first, strictest round).
+func Ablation(opt Options, dataset string) []AblationRow {
+	opt = opt.withDefaults()
+	spec, err := datasets.ByName(dataset)
+	if err != nil {
+		spec, _ = datasets.ByName("PR")
+	}
+	g := spec.Generate(opt.Scale, opt.Seed)
+
+	run := func(name string, cfg core.Config) AblationRow {
+		cfg.Seed = opt.Seed
+		if cfg.T == 0 {
+			cfg.T = opt.T
+		}
+		s, _ := core.Summarize(g, cfg)
+		return AblationRow{Config: name, RelativeSize: s.RelativeSize(g.NumEdges())}
+	}
+
+	rows := []AblationRow{
+		run("full (paper defaults)", core.Config{}),
+		run("no pruning", core.Config{SkipPrune: true}),
+		run("single iteration (T=1)", core.Config{T: 1}),
+		run("tiny candidate sets (MaxGroup=16)", core.Config{MaxGroup: 16}),
+		run("flat hierarchy (Hb=1)", core.Config{Hb: 1}),
+	}
+
+	fmt.Fprintf(opt.Out, "=== Ablation on %s (scale=%.2f, |E|=%d) ===\n",
+		spec.Name, opt.Scale, g.NumEdges())
+	for _, r := range rows {
+		fmt.Fprintf(opt.Out, "%-36s %8.3f\n", r.Config, r.RelativeSize)
+	}
+	return rows
+}
+
+// LossyRow reports one ε point of the lossy-summarization extension.
+type LossyRow struct {
+	Eps          float64
+	RelativeSize float64
+	PairErrors   int64
+}
+
+// Lossy sweeps the bounded-error sparsification (an extension beyond
+// the paper's lossless evaluation; see Sect. V related work): a lossless
+// SWeG summary is sparsified at growing ε and the size/error trade-off
+// reported.
+func Lossy(opt Options, dataset string) []LossyRow {
+	opt = opt.withDefaults()
+	spec, err := datasets.ByName(dataset)
+	if err != nil {
+		spec, _ = datasets.ByName("PR")
+	}
+	g := spec.Generate(opt.Scale, opt.Seed)
+	s := sweg.Summarize(g, opt.Seed, sweg.Config{T: opt.T})
+
+	var rows []LossyRow
+	fmt.Fprintf(opt.Out, "=== Lossy extension on %s (scale=%.2f) ===\n", spec.Name, opt.Scale)
+	fmt.Fprintf(opt.Out, "%8s %14s %12s\n", "eps", "relative size", "pair errors")
+	for _, eps := range []float64{0, 0.1, 0.2, 0.3, 0.5, 1.0} {
+		res := lossy.Sparsify(s, g, eps)
+		pairs, _ := lossy.Error(res.Summary, g)
+		row := LossyRow{
+			Eps:          eps,
+			RelativeSize: res.Summary.RelativeSize(g.NumEdges()),
+			PairErrors:   pairs,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(opt.Out, "%8.2f %14.3f %12d\n", row.Eps, row.RelativeSize, row.PairErrors)
+	}
+	return rows
+}

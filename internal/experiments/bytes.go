@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/graph"
+)
+
+// BytesRow reports the concrete serialized footprint of one dataset.
+type BytesRow struct {
+	Dataset      string
+	GraphBytes   int64
+	SummaryBytes int64
+	Ratio        float64 // summary / graph
+	RelativeSize float64 // the Eq. (10) edge-count metric, for comparison
+}
+
+// Bytes grounds the paper's bit-proportionality assumption (Sect. II-C:
+// "the number of bits required ... is roughly proportional to the
+// number of edges"): each dataset and its SLUGGER summary are
+// serialized with comparable delta-varint encodings and the byte ratio
+// is printed next to the Eq. (10) edge-count ratio.
+func Bytes(opt Options, names []string) []BytesRow {
+	opt = opt.withDefaults()
+	if names == nil {
+		names = datasets.Names()
+	}
+	var rows []BytesRow
+	fmt.Fprintf(opt.Out, "=== Serialized size: summary bytes vs graph bytes (scale=%.2f) ===\n", opt.Scale)
+	fmt.Fprintf(opt.Out, "%-4s %12s %14s %12s %12s\n", "data", "graph bytes", "summary bytes", "byte ratio", "Eq.(10)")
+	for _, name := range names {
+		spec, err := datasets.ByName(name)
+		if err != nil {
+			continue
+		}
+		g := spec.Generate(opt.Scale, opt.Seed)
+		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+		gBytes := graph.SerializedSize(g)
+		sBytes, werr := s.WriteTo(io.Discard)
+		if werr != nil {
+			panic(werr) // io.Discard cannot fail
+		}
+		row := BytesRow{
+			Dataset:      name,
+			GraphBytes:   gBytes,
+			SummaryBytes: sBytes,
+			RelativeSize: s.RelativeSize(g.NumEdges()),
+		}
+		if gBytes > 0 {
+			row.Ratio = float64(sBytes) / float64(gBytes)
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(opt.Out, "%-4s %12d %14d %12.3f %12.3f\n",
+			name, row.GraphBytes, row.SummaryBytes, row.Ratio, row.RelativeSize)
+	}
+	return rows
+}

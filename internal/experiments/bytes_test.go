@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBytesRatioTracksRelativeSize(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{Scale: 0.06, Seed: 5, T: 6, Out: &buf}
+	rows := Bytes(opt, []string{"PR", "CA"})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GraphBytes <= 0 || r.SummaryBytes <= 0 {
+			t.Fatalf("%s: non-positive sizes %+v", r.Dataset, r)
+		}
+		// The byte ratio should be in the same regime as the edge-count
+		// metric: a well-compressed dataset (PR) must also shrink in
+		// bytes relative to an incompressible one (CA).
+	}
+	var pr, ca BytesRow
+	for _, r := range rows {
+		switch r.Dataset {
+		case "PR":
+			pr = r
+		case "CA":
+			ca = r
+		}
+	}
+	if pr.Ratio >= ca.Ratio {
+		t.Fatalf("PR byte ratio %.3f not below CA %.3f", pr.Ratio, ca.Ratio)
+	}
+}
+
+func TestBytesSkipsUnknownDatasets(t *testing.T) {
+	var buf bytes.Buffer
+	opt := Options{Scale: 0.05, Seed: 5, T: 3, Out: &buf}
+	if rows := Bytes(opt, []string{"nope", "PR"}); len(rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(rows))
+	}
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestShapeCheckManual(t *testing.T) {
+	if os.Getenv("SHAPE_CHECK") == "" {
+		t.Skip("manual shape check; set SHAPE_CHECK=1")
+	}
+	Fig5a(Options{Scale: 0.12, Seed: 7, Trials: 1, T: 10, Out: os.Stdout})
+}

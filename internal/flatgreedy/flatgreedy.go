@@ -1,0 +1,286 @@
+// Package flatgreedy maintains a mutable vertex grouping together with
+// supernode-level subedge counts and the optimal flat-model encoding
+// cost of every supernode pair. It is the workhorse of the baseline
+// summarizers (Randomized, SWeG, SAGS, MoSSo), which all search over
+// partitions of the vertex set under the Navlakha cost model.
+package flatgreedy
+
+import (
+	"repro/internal/flat"
+	"repro/internal/graph"
+)
+
+// Grouping is a partition of the vertices with incremental cost
+// bookkeeping. Group ids are stable; emptied groups become dead.
+//
+// A Grouping is either static (built from a complete graph with New) or
+// incremental (built empty with NewIncremental and fed edges with
+// AddEdge, the mode MoSSo's streaming setting uses).
+type Grouping struct {
+	G       *graph.Graph
+	GroupOf []int32
+	Members [][]int32
+	// Nbr[a][b] is the number of subedges between groups a and b
+	// (within-group count under Nbr[a][a]).
+	Nbr []map[int32]int64
+
+	dynAdj [][]int32 // incremental adjacency; nil in static mode
+	n      int
+}
+
+// New returns the singleton grouping of g.
+func New(g *graph.Graph) *Grouping {
+	gr := newEmpty(g.NumNodes())
+	gr.G = g
+	g.ForEachEdge(func(u, v int32) {
+		gr.Nbr[u][v]++
+		gr.Nbr[v][u]++
+	})
+	return gr
+}
+
+// NewIncremental returns an empty grouping over n vertices; edges
+// arrive one at a time via AddEdge.
+func NewIncremental(n int) *Grouping {
+	gr := newEmpty(n)
+	gr.dynAdj = make([][]int32, n)
+	return gr
+}
+
+func newEmpty(n int) *Grouping {
+	gr := &Grouping{
+		GroupOf: make([]int32, n),
+		Members: make([][]int32, n),
+		Nbr:     make([]map[int32]int64, n),
+		n:       n,
+	}
+	for v := 0; v < n; v++ {
+		gr.GroupOf[v] = int32(v)
+		gr.Members[v] = []int32{int32(v)}
+		gr.Nbr[v] = make(map[int32]int64)
+	}
+	return gr
+}
+
+// AddEdge feeds one undirected edge into an incremental grouping,
+// updating the supernode-pair subedge counts. Panics in static mode.
+func (gr *Grouping) AddEdge(u, v int32) {
+	if gr.dynAdj == nil {
+		panic("flatgreedy: AddEdge requires NewIncremental")
+	}
+	if u == v {
+		return
+	}
+	gr.dynAdj[u] = append(gr.dynAdj[u], v)
+	gr.dynAdj[v] = append(gr.dynAdj[v], u)
+	gr.addPair(gr.GroupOf[u], gr.GroupOf[v], 1)
+}
+
+// Neighbors returns the current adjacency of v (static or incremental).
+func (gr *Grouping) Neighbors(v int32) []int32 {
+	if gr.dynAdj != nil {
+		return gr.dynAdj[v]
+	}
+	return gr.G.Neighbors(v)
+}
+
+// Graph materializes the current graph (the input in static mode, the
+// accumulated stream in incremental mode).
+func (gr *Grouping) Graph() *graph.Graph {
+	if gr.dynAdj == nil {
+		return gr.G
+	}
+	b := graph.NewBuilder(gr.n)
+	for u := int32(0); u < int32(gr.n); u++ {
+		for _, w := range gr.dynAdj[u] {
+			if u < w {
+				b.AddEdge(u, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Alive reports whether group a still has members.
+func (gr *Grouping) Alive(a int32) bool { return len(gr.Members[a]) > 0 }
+
+// Size returns the number of vertices in group a.
+func (gr *Grouping) Size(a int32) int64 { return int64(len(gr.Members[a])) }
+
+// PairCost returns the optimal flat encoding cost of the pair {a,b}:
+// min(|E_ab|, 1 + |T_ab| - |E_ab|), and 0 when no subedges exist.
+func (gr *Grouping) PairCost(a, b int32) int64 {
+	var cnt int64
+	if a == b {
+		cnt = gr.Nbr[a][a]
+	} else {
+		cnt = gr.Nbr[a][b]
+	}
+	if cnt == 0 {
+		return 0
+	}
+	var total int64
+	if a == b {
+		s := gr.Size(a)
+		total = s * (s - 1) / 2
+	} else {
+		total = gr.Size(a) * gr.Size(b)
+	}
+	if alt := 1 + total - cnt; alt < cnt {
+		return alt
+	}
+	return cnt
+}
+
+// Cost returns the encoding cost attributable to group a: the sum of
+// PairCost over all pairs involving a (including its self pair).
+func (gr *Grouping) Cost(a int32) int64 {
+	var c int64
+	for b := range gr.Nbr[a] {
+		c += gr.PairCost(a, b)
+	}
+	return c
+}
+
+// MergeCost returns the Cost of the hypothetical merged group a∪b.
+func (gr *Grouping) MergeCost(a, b int32) int64 {
+	sa, sb := gr.Size(a), gr.Size(b)
+	s := sa + sb
+	selfCnt := gr.Nbr[a][a] + gr.Nbr[b][b] + gr.Nbr[a][b]
+	var c int64
+	if selfCnt > 0 {
+		total := s * (s - 1) / 2
+		c = selfCnt
+		if alt := 1 + total - selfCnt; alt < c {
+			c = alt
+		}
+	}
+	pairCost := func(w int32, cnt int64) int64 {
+		if cnt == 0 {
+			return 0
+		}
+		total := s * gr.Size(w)
+		if alt := 1 + total - cnt; alt < cnt {
+			return alt
+		}
+		return cnt
+	}
+	for w, cnt := range gr.Nbr[a] {
+		if w == a || w == b {
+			continue
+		}
+		c += pairCost(w, cnt+gr.Nbr[b][w])
+	}
+	for w, cnt := range gr.Nbr[b] {
+		if w == a || w == b {
+			continue
+		}
+		if _, seen := gr.Nbr[a][w]; seen {
+			continue // already counted above
+		}
+		c += pairCost(w, cnt)
+	}
+	return c
+}
+
+// Saving returns the normalized cost reduction of merging a and b,
+// analogous to Eq. (8): 1 - cost(a∪b) / (cost(a)+cost(b)-cost(a,b)).
+// Returns a negative value when the denominator is non-positive.
+func (gr *Grouping) Saving(a, b int32) float64 {
+	denom := gr.Cost(a) + gr.Cost(b) - gr.PairCost(a, b)
+	if denom <= 0 {
+		return -1
+	}
+	return 1 - float64(gr.MergeCost(a, b))/float64(denom)
+}
+
+// Merge folds group b into group a (a keeps its id) and returns a.
+func (gr *Grouping) Merge(a, b int32) int32 {
+	if a == b || !gr.Alive(a) || !gr.Alive(b) {
+		panic("flatgreedy: invalid merge")
+	}
+	for _, v := range gr.Members[b] {
+		gr.GroupOf[v] = a
+	}
+	gr.Members[a] = append(gr.Members[a], gr.Members[b]...)
+	gr.Members[b] = nil
+	for w, cnt := range gr.Nbr[b] {
+		switch w {
+		case b, a:
+			gr.Nbr[a][a] += cnt
+		default:
+			gr.Nbr[a][w] += cnt
+			gr.Nbr[w][a] += cnt
+			delete(gr.Nbr[w], b)
+		}
+	}
+	delete(gr.Nbr[a], b)
+	gr.Nbr[b] = nil
+	return a
+}
+
+// addPair adjusts the subedge count between groups x and y.
+func (gr *Grouping) addPair(x, y int32, delta int64) {
+	if x == y {
+		gr.Nbr[x][x] += delta
+		if gr.Nbr[x][x] == 0 {
+			delete(gr.Nbr[x], x)
+		}
+		return
+	}
+	gr.Nbr[x][y] += delta
+	gr.Nbr[y][x] += delta
+	if gr.Nbr[x][y] == 0 {
+		delete(gr.Nbr[x], y)
+		delete(gr.Nbr[y], x)
+	}
+}
+
+// MoveVertex moves vertex v into group 'to' (which must be alive or a
+// freshly allocated empty group), updating all counts.
+func (gr *Grouping) MoveVertex(v, to int32) {
+	from := gr.GroupOf[v]
+	if from == to {
+		return
+	}
+	// Detach from old group.
+	m := gr.Members[from]
+	for i, u := range m {
+		if u == v {
+			m[i] = m[len(m)-1]
+			gr.Members[from] = m[:len(m)-1]
+			break
+		}
+	}
+	gr.Members[to] = append(gr.Members[to], v)
+	gr.GroupOf[v] = to
+	for _, w := range gr.Neighbors(v) {
+		if w == v {
+			continue
+		}
+		// gw is unaffected by the move because w != v.
+		gw := gr.GroupOf[w]
+		gr.addPair(from, gw, -1)
+		gr.addPair(to, gw, 1)
+	}
+}
+
+// NewGroup allocates a fresh empty group and returns its id.
+func (gr *Grouping) NewGroup() int32 {
+	id := int32(len(gr.Members))
+	gr.Members = append(gr.Members, []int32{})
+	gr.Nbr = append(gr.Nbr, make(map[int32]int64))
+	return id
+}
+
+// Encode produces the optimal flat summary of the current grouping
+// over the current graph.
+func (gr *Grouping) Encode() *flat.Summary {
+	return flat.Encode(gr.Graph(), flat.Compact(gr.GroupOf))
+}
+
+// TotalCost returns the Eq. (11) cost of the current grouping's optimal
+// encoding (including membership h-edges).
+func (gr *Grouping) TotalCost() int64 {
+	return gr.Encode().Cost()
+}

@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList ensures the parser never panics and that everything
+// it accepts round-trips through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n5 5\n")
+	f.Add("")
+	f.Add("999999 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 4096 {
+			return
+		}
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteEdgeList(&sb, g); err != nil {
+			t.Fatalf("write failed on accepted input: %v", err)
+		}
+		g2, err := ReadEdgeList(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary ensures the binary decoder rejects or safely parses
+// arbitrary bytes and that valid outputs re-encode identically.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	WriteBinary(&buf, ErdosRenyi(10, 20, 1))
+	f.Add(buf.Bytes())
+	f.Add([]byte("GCSR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		g2, err := ReadBinary(&out)
+		if err != nil || !Equal(g, g2) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}

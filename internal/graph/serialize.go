@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// WriteBinary serializes the graph as a delta-varint CSR stream — the
+// baseline storage format against which summary sizes are compared
+// (the paper's Eq. (1) treats bits as roughly proportional to edge
+// counts; SerializedSize makes that concrete).
+//
+// Format: magic "GCSR" | n uvarint | m uvarint | per vertex: degree
+// uvarint followed by delta-encoded sorted neighbor ids.
+func WriteBinary(w io.Writer, g *Graph) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var count int64
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		nn, err := bw.Write(buf[:n])
+		count += int64(nn)
+		return err
+	}
+	if n, err := bw.Write([]byte("GCSR")); err != nil {
+		return count + int64(n), err
+	}
+	count += 4
+	if err := writeUvarint(uint64(g.NumNodes())); err != nil {
+		return count, err
+	}
+	if err := writeUvarint(uint64(g.NumEdges())); err != nil {
+		return count, err
+	}
+	for v := int32(0); v < int32(g.NumNodes()); v++ {
+		nbrs := g.Neighbors(v)
+		if err := writeUvarint(uint64(len(nbrs))); err != nil {
+			return count, err
+		}
+		prev := int64(-1)
+		for _, w := range nbrs {
+			if err := writeUvarint(uint64(int64(w) - prev)); err != nil {
+				return count, err
+			}
+			prev = int64(w)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if string(head) != "GCSR" {
+		return nil, fmt.Errorf("graph: bad magic %q", head)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // edge count (informative)
+		return nil, err
+	}
+	b := NewBuilder(int(n64))
+	for v := int32(0); v < int32(n64); v++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: vertex %d degree: %w", v, err)
+		}
+		prev := int64(-1)
+		for k := uint64(0); k < deg; k++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: vertex %d neighbor %d: %w", v, k, err)
+			}
+			w := prev + int64(delta)
+			if w < 0 || w >= int64(n64) {
+				return nil, fmt.Errorf("graph: vertex %d neighbor out of range", v)
+			}
+			prev = w
+			if int64(v) < w {
+				b.AddEdge(v, int32(w))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// SerializedSize returns the number of bytes WriteBinary would emit.
+func SerializedSize(g *Graph) int64 {
+	n, err := WriteBinary(io.Discard, g)
+	if err != nil {
+		panic(err) // io.Discard cannot fail
+	}
+	return n
+}

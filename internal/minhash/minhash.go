@@ -1,0 +1,96 @@
+// Package minhash provides the seeded hashing, min-hash shingle and
+// size-capped grouping utilities shared by SLUGGER, SWeG and SAGS
+// (candidate generation, Sect. III-B2 of the SLUGGER paper; SWeG
+// Sect. 3; SAGS LSH bucketing).
+package minhash
+
+import "math/rand"
+
+// Hash64 mixes a 64-bit value with a seed using the SplitMix64
+// finalizer. It behaves as a random permutation fingerprint: for a
+// fixed seed, ordering values by Hash64 yields a pseudo-random
+// permutation.
+func Hash64(seed, x uint64) uint64 {
+	z := x + seed*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NeighborLister exposes the adjacency access the shingle computation
+// needs. *graph.Graph satisfies it.
+type NeighborLister interface {
+	NumNodes() int
+	Neighbors(v int32) []int32
+}
+
+// Shingles computes, for every vertex v, the 1-hop shingle
+// min_{w in N(v) ∪ {v}} h(w) under the seeded permutation h.
+// The shingle of a supernode is the min over its subnodes' shingles,
+// which callers compute by folding this per-vertex array.
+func Shingles(g NeighborLister, seed uint64) []uint64 {
+	n := g.NumNodes()
+	out := make([]uint64, n)
+	for v := 0; v < n; v++ {
+		best := Hash64(seed, uint64(v))
+		for _, w := range g.Neighbors(int32(v)) {
+			if h := Hash64(seed, uint64(w)); h < best {
+				best = h
+			}
+		}
+		out[v] = best
+	}
+	return out
+}
+
+// Group partitions the items (arbitrary int32 ids) into groups of size
+// at most maxGroup. Items are first grouped by key(item, level); groups
+// exceeding maxGroup are re-split with the next level's key, up to
+// maxLevels; any still-oversized group is split into random chunks.
+// This mirrors SLUGGER/SWeG candidate generation: "iteratively divides
+// root nodes using shingle values at most 10 times and then randomly so
+// that each candidate set consists of at most 500 nodes".
+func Group(items []int32, maxGroup, maxLevels int, key func(item int32, level int) uint64, rng *rand.Rand) [][]int32 {
+	if maxGroup < 2 {
+		maxGroup = 2
+	}
+	var out [][]int32
+	var split func(group []int32, level int)
+	split = func(group []int32, level int) {
+		if len(group) <= maxGroup {
+			if len(group) > 1 {
+				out = append(out, group)
+			}
+			return
+		}
+		if level >= maxLevels {
+			// Random chunking.
+			rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+			for start := 0; start < len(group); start += maxGroup {
+				end := start + maxGroup
+				if end > len(group) {
+					end = len(group)
+				}
+				if end-start > 1 {
+					out = append(out, group[start:end])
+				}
+			}
+			return
+		}
+		buckets := make(map[uint64][]int32)
+		for _, it := range group {
+			k := key(it, level)
+			buckets[k] = append(buckets[k], it)
+		}
+		if len(buckets) == 1 {
+			// Key failed to discriminate; go straight to random chunks.
+			split(group, maxLevels)
+			return
+		}
+		for _, b := range buckets {
+			split(b, level+1)
+		}
+	}
+	split(items, 0)
+	return out
+}

@@ -1,0 +1,104 @@
+package minhash
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 42) != Hash64(1, 42) {
+		t.Fatal("Hash64 not deterministic")
+	}
+	if Hash64(1, 42) == Hash64(2, 42) {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+	if Hash64(1, 42) == Hash64(1, 43) {
+		t.Fatal("different inputs should (almost surely) differ")
+	}
+}
+
+func TestHash64Spread(t *testing.T) {
+	// Crude uniformity check: top bit should be set roughly half the time.
+	set := 0
+	for i := uint64(0); i < 1000; i++ {
+		if Hash64(7, i)>>63 == 1 {
+			set++
+		}
+	}
+	if set < 400 || set > 600 {
+		t.Fatalf("top-bit frequency %d/1000 suggests poor mixing", set)
+	}
+}
+
+func TestShinglesNeighborhoodSensitive(t *testing.T) {
+	// Two vertices with identical closed neighborhoods must share a shingle.
+	// In K3, every vertex has closed neighborhood {0,1,2}.
+	g := graph.FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	sh := Shingles(g, 99)
+	if sh[0] != sh[1] || sh[1] != sh[2] {
+		t.Fatalf("K3 shingles should all match: %v", sh)
+	}
+	// An isolated vertex's shingle is its own hash.
+	g2 := graph.FromEdges(2, nil)
+	sh2 := Shingles(g2, 99)
+	if sh2[0] != Hash64(99, 0) {
+		t.Fatal("isolated vertex shingle should be own hash")
+	}
+}
+
+func TestGroupRespectsMaxSize(t *testing.T) {
+	items := make([]int32, 1000)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(5))
+	groups := Group(items, 50, 3, func(it int32, level int) uint64 {
+		return Hash64(uint64(level)+1, uint64(it)) % 4 // coarse keys force re-splitting
+	}, rng)
+	total := 0
+	for _, gset := range groups {
+		if len(gset) > 50 {
+			t.Fatalf("group of size %d exceeds cap", len(gset))
+		}
+		if len(gset) < 2 {
+			t.Fatalf("singleton group emitted")
+		}
+		total += len(gset)
+	}
+	if total > 1000 {
+		t.Fatalf("items duplicated across groups: %d", total)
+	}
+}
+
+func TestGroupKeyFailsToDiscriminate(t *testing.T) {
+	items := make([]int32, 100)
+	for i := range items {
+		items[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(5))
+	// Constant key: must fall back to random chunking.
+	groups := Group(items, 10, 3, func(int32, int) uint64 { return 1 }, rng)
+	total := 0
+	for _, gset := range groups {
+		if len(gset) > 10 {
+			t.Fatalf("group too large: %d", len(gset))
+		}
+		total += len(gset)
+	}
+	if total != 100 {
+		t.Fatalf("lost items: %d", total)
+	}
+}
+
+func TestGroupSmallInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := Group([]int32{7}, 10, 3, func(int32, int) uint64 { return 0 }, rng); len(got) != 0 {
+		t.Fatalf("single item should produce no groups, got %v", got)
+	}
+	got := Group([]int32{1, 2}, 10, 3, func(int32, int) uint64 { return 0 }, rng)
+	if len(got) != 1 || len(got[0]) != 2 {
+		t.Fatalf("two items should form one group, got %v", got)
+	}
+}

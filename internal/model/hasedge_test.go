@@ -1,0 +1,76 @@
+package model
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHasEdgeMatchesGraph(t *testing.T) {
+	g := fig2LikeGraph()
+	s := fig2LikeSummary()
+	n := int32(g.NumNodes())
+	for u := int32(0); u < n; u++ {
+		for v := int32(0); v < n; v++ {
+			if got, want := s.HasEdge(u, v), g.HasEdge(u, v); got != want {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestHasEdgeSelfLoopFalse(t *testing.T) {
+	s := fig2LikeSummary()
+	if s.HasEdge(3, 3) {
+		t.Fatal("self pair must never be an edge")
+	}
+}
+
+func TestHasEdgeNestedEndpoints(t *testing.T) {
+	// Supernode 4 = {0,1}, 5 = {0,1,2}; p-edge (4,5) covers (0,1),(0,2),(1,2).
+	parent := []int32{4, 4, 5, -1, 5, -1}
+	s := New(4, parent, []Edge{{A: 4, B: 5, Sign: 1}})
+	for _, pair := range [][2]int32{{0, 1}, {0, 2}, {1, 2}} {
+		if !s.HasEdge(pair[0], pair[1]) {
+			t.Fatalf("HasEdge(%d,%d) = false, want true", pair[0], pair[1])
+		}
+	}
+	if s.HasEdge(0, 3) || s.HasEdge(2, 3) {
+		t.Fatal("vertex 3 must be isolated")
+	}
+}
+
+func TestHasEdgeAgreesWithNeighborsOf(t *testing.T) {
+	s := fig2LikeSummary()
+	for v := int32(0); v < int32(s.N); v++ {
+		inNbrs := make(map[int32]bool)
+		for _, u := range s.NeighborsOf(v) {
+			inNbrs[u] = true
+		}
+		for u := int32(0); u < int32(s.N); u++ {
+			if u == v {
+				continue
+			}
+			if s.HasEdge(v, u) != inNbrs[u] {
+				t.Fatalf("HasEdge(%d,%d)=%v disagrees with NeighborsOf", v, u, s.HasEdge(v, u))
+			}
+		}
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := graph.Caveman(10, 10, 5, 3)
+	// Build the trivial summary (one p-edge per subedge).
+	parent := make([]int32, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var edges []Edge
+	g.ForEachEdge(func(u, v int32) { edges = append(edges, Edge{A: u, B: v, Sign: 1}) })
+	s := New(g.NumNodes(), parent, edges)
+	n := int32(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.HasEdge(int32(i)%n, int32(i*7)%n)
+	}
+}

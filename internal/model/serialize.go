@@ -1,0 +1,171 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary serialization of hierarchical summaries. The format is a
+// compact varint stream:
+//
+//	magic "SLGR" | version u8
+//	n varint | numSupernodes varint
+//	parent deltas (parent+1, varint) per supernode
+//	numEdges varint | per edge: A varint, B varint, sign byte
+//
+// The format stores exactly (S, P+, P-, H); subnode lists and indexes
+// are rebuilt on load.
+
+const (
+	magic   = "SLGR"
+	version = 1
+)
+
+// WriteTo serializes the summary. It returns the number of bytes
+// written.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var count int64
+	write := func(p []byte) error {
+		n, err := bw.Write(p)
+		count += int64(n)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		return write(buf[:n])
+	}
+	if err := write([]byte(magic)); err != nil {
+		return count, err
+	}
+	if err := write([]byte{version}); err != nil {
+		return count, err
+	}
+	if err := writeUvarint(uint64(s.N)); err != nil {
+		return count, err
+	}
+	if err := writeUvarint(uint64(len(s.Parent))); err != nil {
+		return count, err
+	}
+	for _, p := range s.Parent {
+		if err := writeUvarint(uint64(p + 1)); err != nil {
+			return count, err
+		}
+	}
+	if err := writeUvarint(uint64(len(s.Edges))); err != nil {
+		return count, err
+	}
+	for _, e := range s.Edges {
+		if err := writeUvarint(uint64(e.A)); err != nil {
+			return count, err
+		}
+		if err := writeUvarint(uint64(e.B)); err != nil {
+			return count, err
+		}
+		sign := byte(0)
+		if e.Sign > 0 {
+			sign = 1
+		}
+		if err := write([]byte{sign}); err != nil {
+			return count, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// ReadFrom deserializes a summary written by WriteTo.
+func ReadFrom(r io.Reader) (*Summary, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("model: reading header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("model: bad magic %q", head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("model: unsupported version %d", head[len(magic)])
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	n64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading n: %w", err)
+	}
+	total, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading supernode count: %w", err)
+	}
+	if total > 1<<31 || n64 > total {
+		return nil, fmt.Errorf("model: implausible sizes n=%d total=%d", n64, total)
+	}
+	parent := make([]int32, total)
+	for i := range parent {
+		p, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading parent %d: %w", i, err)
+		}
+		if p > total {
+			return nil, fmt.Errorf("model: parent %d out of range", p)
+		}
+		parent[i] = int32(p) - 1
+	}
+	numEdges, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading edge count: %w", err)
+	}
+	edges := make([]Edge, numEdges)
+	for i := range edges {
+		a, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading edge %d: %w", i, err)
+		}
+		b, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading edge %d: %w", i, err)
+		}
+		sign, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("model: reading edge %d sign: %w", i, err)
+		}
+		e := Edge{A: int32(a), B: int32(b), Sign: -1}
+		if sign == 1 {
+			e.Sign = 1
+		}
+		if uint64(e.A) >= total || uint64(e.B) >= total {
+			return nil, fmt.Errorf("model: edge %d endpoint out of range", i)
+		}
+		edges[i] = e
+	}
+	return New(int(n64), parent, edges), nil
+}
+
+// Save writes the summary to a file.
+func (s *Summary) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := s.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a summary from a file.
+func Load(path string) (*Summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

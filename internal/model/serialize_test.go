@@ -1,0 +1,116 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	s := fig2LikeSummary()
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	s2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N != s.N || s2.Cost() != s.Cost() {
+		t.Fatalf("round trip changed summary: N %d/%d cost %d/%d",
+			s.N, s2.N, s.Cost(), s2.Cost())
+	}
+	if !graph.Equal(s.Decode(), s2.Decode()) {
+		t.Fatal("round trip changed the represented graph")
+	}
+}
+
+func TestSerializeFileRoundTrip(t *testing.T) {
+	s := fig2LikeSummary()
+	path := filepath.Join(t.TempDir(), "sum.slgr")
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(s.Decode(), s2.Decode()) {
+		t.Fatal("file round trip changed the represented graph")
+	}
+}
+
+func TestSerializeEmptySummary(t *testing.T) {
+	parent := []int32{-1, -1}
+	s := New(2, parent, nil)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.N != 2 || len(s2.Edges) != 0 {
+		t.Fatalf("unexpected summary: N=%d edges=%d", s2.N, len(s2.Edges))
+	}
+}
+
+func TestReadFromRejectsCorruptInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad magic":   "XXXX\x01",
+		"bad version": "SLGR\x09",
+		"truncated":   "SLGR\x01\x05",
+	}
+	for name, in := range cases {
+		if _, err := ReadFrom(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	// Structurally invalid: edge endpoint out of range.
+	var buf bytes.Buffer
+	s := New(2, []int32{-1, -1}, []Edge{{A: 0, B: 1, Sign: 1}})
+	s.WriteTo(&buf)
+	data := buf.Bytes()
+	// Corrupt the edge's B endpoint to an out-of-range value.
+	data[len(data)-2] = 0x7f
+	if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected out-of-range endpoint error")
+	}
+}
+
+func TestSerializeLargeRandomSummary(t *testing.T) {
+	// Round-trip a summary with many supernodes and both edge signs.
+	parent := make([]int32, 150)
+	for i := 0; i < 100; i++ {
+		parent[i] = int32(100 + i/2)
+	}
+	for i := 100; i < 150; i++ {
+		parent[i] = -1
+	}
+	var edges []Edge
+	for i := int32(0); i < 100; i += 3 {
+		edges = append(edges, Edge{A: i, B: (i + 7) % 100, Sign: 1})
+		edges = append(edges, Edge{A: i, B: (i + 13) % 100, Sign: -1})
+	}
+	s := New(100, parent, edges)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.PCount() != s.PCount() || s2.NCount() != s.NCount() || s2.HCount() != s.HCount() {
+		t.Fatal("edge counts changed in round trip")
+	}
+}

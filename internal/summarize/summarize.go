@@ -1,0 +1,127 @@
+// Package summarize defines the common interface through which the
+// experiment harness drives SLUGGER and the four baseline summarizers,
+// plus the shared Result type (relative output size per Eq. (10)/(11),
+// wall-clock time).
+package summarize
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Result reports one summarization run.
+type Result struct {
+	Algorithm    string
+	Dataset      string
+	Cost         int64         // encoding cost (Eq. (1) or Eq. (11))
+	Edges        int64         // |E| of the input
+	RelativeSize float64       // Cost / |E|
+	Elapsed      time.Duration // wall-clock summarization time
+}
+
+// Summarizer is one summarization algorithm. Run must return the
+// encoding cost of its output model; Decode-based losslessness is
+// checked in each algorithm's own tests.
+type Summarizer interface {
+	Name() string
+	// Run summarizes g with the given seed and returns the encoding cost.
+	Run(g *graph.Graph, seed int64) int64
+}
+
+// Func adapts a function to the Summarizer interface.
+type Func struct {
+	AlgName string
+	F       func(g *graph.Graph, seed int64) int64
+}
+
+// Name returns the algorithm name.
+func (f Func) Name() string { return f.AlgName }
+
+// Run invokes the adapted function.
+func (f Func) Run(g *graph.Graph, seed int64) int64 { return f.F(g, seed) }
+
+// Measure runs s on g and fills a Result.
+func Measure(s Summarizer, dataset string, g *graph.Graph, seed int64) Result {
+	start := time.Now()
+	cost := s.Run(g, seed)
+	elapsed := time.Since(start)
+	m := g.NumEdges()
+	rel := 0.0
+	if m > 0 {
+		rel = float64(cost) / float64(m)
+	}
+	return Result{
+		Algorithm:    s.Name(),
+		Dataset:      dataset,
+		Cost:         cost,
+		Edges:        m,
+		RelativeSize: rel,
+		Elapsed:      elapsed,
+	}
+}
+
+// MeasureAvg averages cost and time over trials runs with distinct
+// seeds (the paper reports means over five runs).
+func MeasureAvg(s Summarizer, dataset string, g *graph.Graph, baseSeed int64, trials int) Result {
+	if trials < 1 {
+		trials = 1
+	}
+	var costSum int64
+	var timeSum time.Duration
+	for i := 0; i < trials; i++ {
+		r := Measure(s, dataset, g, baseSeed+int64(i)*1000)
+		costSum += r.Cost
+		timeSum += r.Elapsed
+	}
+	m := g.NumEdges()
+	avgCost := costSum / int64(trials)
+	rel := 0.0
+	if m > 0 {
+		rel = float64(costSum) / float64(trials) / float64(m)
+	}
+	return Result{
+		Algorithm:    s.Name(),
+		Dataset:      dataset,
+		Cost:         avgCost,
+		Edges:        m,
+		RelativeSize: rel,
+		Elapsed:      timeSum / time.Duration(trials),
+	}
+}
+
+// Registry maps algorithm names to summarizers, in a stable order.
+type Registry struct {
+	order []string
+	algs  map[string]Summarizer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{algs: make(map[string]Summarizer)}
+}
+
+// Register adds a summarizer; duplicate names panic.
+func (r *Registry) Register(s Summarizer) {
+	if _, dup := r.algs[s.Name()]; dup {
+		panic(fmt.Sprintf("summarize: duplicate algorithm %q", s.Name()))
+	}
+	r.order = append(r.order, s.Name())
+	r.algs[s.Name()] = s
+}
+
+// Get returns the named summarizer.
+func (r *Registry) Get(name string) (Summarizer, error) {
+	s, ok := r.algs[name]
+	if !ok {
+		names := append([]string(nil), r.order...)
+		sort.Strings(names)
+		return nil, fmt.Errorf("summarize: unknown algorithm %q (have %v)", name, names)
+	}
+	return s, nil
+}
+
+// Names returns registration order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
