@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -220,15 +221,20 @@ func BenchmarkLossyExtension(b *testing.B) {
 
 // BenchmarkSluggerEndToEnd measures raw summarization throughput on a
 // mid-size hierarchical graph (edges per second appears as the inverse
-// of ns/op via the reported edges metric).
+// of ns/op via the reported edges metric). Sub-benchmarks sweep the
+// Workers knob of the candidate-group pipeline; any worker count
+// produces byte-identical summaries for a fixed seed.
 func BenchmarkSluggerEndToEnd(b *testing.B) {
 	g := graph.HierCommunity(graph.HierParams{
 		Levels: 2, Branching: 6, LeafSize: 8,
 		Density: []float64{0.01, 0.15, 0.8},
 	}, 7)
-	b.ReportMetric(float64(g.NumEdges()), "edges")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.Summarize(g, core.Config{T: 10, Seed: int64(i)})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportMetric(float64(g.NumEdges()), "edges")
+			for i := 0; i < b.N; i++ {
+				core.Summarize(g, core.Config{T: 10, Seed: int64(i), Workers: workers})
+			}
+		})
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -run all [-scale 0.2] [-trials 1] [-t 20] [-seed 0]
+//	experiments -run all [-scale 0.2] [-trials 1] [-t 20] [-seed 0] [-workers 4]
 //	experiments -run fig5a,table3 -datasets PR,FA
 //
 // Available experiments: fig5a fig5b fig1b table3 table4 table5 fig6
@@ -26,16 +26,18 @@ func main() {
 		trials   = flag.Int("trials", 1, "trials averaged per measurement (paper: 5)")
 		t        = flag.Int("t", 20, "iterations T for SLUGGER and SWeG")
 		seed     = flag.Int64("seed", 0, "base random seed")
+		workers  = flag.Int("workers", 1, "SLUGGER candidate-group pipeline workers (results are identical for any value)")
 		dataList = flag.String("datasets", "", "restrict table experiments to these datasets (comma-separated)")
 	)
 	flag.Parse()
 
 	opt := experiments.Options{
-		Scale:  *scale,
-		Seed:   *seed,
-		Trials: *trials,
-		T:      *t,
-		Out:    os.Stdout,
+		Scale:   *scale,
+		Seed:    *seed,
+		Trials:  *trials,
+		T:       *t,
+		Workers: *workers,
+		Out:     os.Stdout,
 	}
 	var names []string
 	if *dataList != "" {

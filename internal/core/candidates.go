@@ -1,6 +1,10 @@
 package core
 
 import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+
 	"repro/internal/minhash"
 )
 
@@ -10,39 +14,79 @@ import (
 // shingle seeds up to maxLevels times and then randomly, so that every
 // candidate set has at most maxGroup roots. Using a different base seed
 // every iteration varies the candidate sets across iterations.
+//
+// Level 0 keys every root, so its shingles are computed in one bulk
+// (parallel) pass; deeper levels only re-key the roots of one oversized
+// group, so their shingles are computed per root on demand — re-split
+// hashing is scoped to the group being split instead of touching every
+// root in the graph.
 func (st *state) generateCandidates(iter, maxGroup, maxLevels int, seed int64) [][]int32 {
 	roots := st.roots()
-	cache := make(map[int][]uint64)
+	var level0 []uint64
 	key := func(root int32, level int) uint64 {
-		sh, ok := cache[level]
-		if !ok {
-			levelSeed := minhash.Hash64(uint64(seed), uint64(iter)<<20|uint64(level))
-			sh = st.rootShingles(levelSeed)
-			cache[level] = sh
+		levelSeed := minhash.Hash64(uint64(seed), uint64(iter)<<20|uint64(level))
+		if level == 0 {
+			if level0 == nil {
+				level0 = st.rootShingles(levelSeed)
+			}
+			return level0[root]
 		}
-		return sh[root]
+		return st.rootShingle(root, levelSeed)
 	}
 	return minhash.Group(roots, maxGroup, maxLevels, key, st.rng)
 }
 
-// rootShingles computes, for every current root, the minimum over its
-// subnodes v of min(h(v), min_{w in N(v)} h(w)) under the seeded
-// permutation h — the supernode-level shingle of SWeG, in O(|V|+|E|)
-// (Lemma 2).
+// vertexShingle is the per-vertex 1-hop shingle of Lemma 2:
+// min(h(v), min_{w in N(v)} h(w)) under the seeded permutation h.
+func (st *state) vertexShingle(v int32, seed uint64) uint64 {
+	f := minhash.Hash64(seed, uint64(v))
+	for _, w := range st.g.Neighbors(v) {
+		if h := minhash.Hash64(seed, uint64(w)); h < f {
+			f = h
+		}
+	}
+	return f
+}
+
+// rootShingle computes the shingle of a single root in O(sum of degrees
+// in the root): the minimum of its subnodes' vertex shingles.
+func (st *state) rootShingle(root int32, seed uint64) uint64 {
+	best := ^uint64(0)
+	for _, v := range st.verts[root] {
+		if f := st.vertexShingle(v, seed); f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// rootShingles computes the shingle of every current root in
+// O(|V|+|E|) (Lemma 2). With multiple workers the vertex loop is
+// chunked and per-root minima are folded with compare-and-swap — min is
+// commutative, so the result is identical to the serial pass.
 func (st *state) rootShingles(seed uint64) []uint64 {
 	sh := make([]uint64, st.next)
 	for i := range sh {
 		sh[i] = ^uint64(0)
 	}
-	for v := int32(0); v < st.n; v++ {
-		f := minhash.Hash64(seed, uint64(v))
-		for _, w := range st.g.Neighbors(v) {
-			if h := minhash.Hash64(seed, uint64(w)); h < f {
-				f = h
+	if st.workers > 1 && st.n >= 1024 {
+		runChunks(st.workers, int(st.n), func(lo, hi int) {
+			for v := int32(lo); v < int32(hi); v++ {
+				f := st.vertexShingle(v, seed)
+				r := st.rootOf[v]
+				for {
+					old := atomic.LoadUint64(&sh[r])
+					if f >= old || atomic.CompareAndSwapUint64(&sh[r], old, f) {
+						break
+					}
+				}
 			}
-		}
-		if r := st.rootOf[v]; f < sh[r] {
-			sh[r] = f
+		})
+		return sh
+	}
+	for v := int32(0); v < st.n; v++ {
+		if f := st.vertexShingle(v, seed); f < sh[st.rootOf[v]] {
+			sh[st.rootOf[v]] = f
 		}
 	}
 	return sh
@@ -50,78 +94,91 @@ func (st *state) rootShingles(seed uint64) []uint64 {
 
 // sweepCache caches per-root sweeps within one candidate group and
 // keeps them consistent across merges by collapsing merged targets.
+// Sweeps and the cache map are recycled through the owning context.
 type sweepCache struct {
-	st *state
-	m  map[int32]map[int32]*blockCounts
+	st  *state
+	ctx *gctx
+	m   map[int32]*rootSweep
 }
 
-func newSweepCache(st *state) *sweepCache {
-	return &sweepCache{st: st, m: make(map[int32]map[int32]*blockCounts)}
+func newSweepCache(st *state, ctx *gctx) *sweepCache {
+	return &sweepCache{st: st, ctx: ctx, m: ctx.getCacheMap()}
 }
 
-func (sc *sweepCache) get(root int32) map[int32]*blockCounts {
+func (sc *sweepCache) get(root int32) *rootSweep {
 	if sw, ok := sc.m[root]; ok {
 		return sw
 	}
-	sw := sc.st.sweep(root)
+	sw := sc.st.sweepInto(sc.ctx, root)
 	sc.m[root] = sw
 	return sw
 }
 
-// collapseLeft sums a sweep's left-atom rows into a single row — the
-// view of the swept tree from a coarser left granularity.
-func collapseLeft(sw map[int32]*blockCounts, row int) map[int32]*blockCounts {
-	out := make(map[int32]*blockCounts, len(sw))
-	for c, bc := range sw {
-		nb := &blockCounts{}
-		for i := 0; i < 2; i++ {
-			for j := 0; j < 2; j++ {
-				nb.cnt[row][j] += bc.cnt[i][j]
-			}
-		}
-		out[c] = nb
+// release returns every cached sweep and the map to the context.
+func (sc *sweepCache) release() {
+	for _, sw := range sc.m {
+		sc.ctx.putSweep(sw)
 	}
-	return out
+	sc.ctx.putCacheMap(sc.m)
+	sc.m = nil
 }
 
 // afterMerge updates the cache after a and b merged into m: the sweep
 // of m is derived from the sweeps of a and b (its atoms are exactly
 // {a,b}), and every cached sweep's stale targets a/b are collapsed into
 // a fresh target m whose atoms are {a,b}.
-func (sc *sweepCache) afterMerge(a, b, m int32, sweepA, sweepB map[int32]*blockCounts) {
+func (sc *sweepCache) afterMerge(a, b, m int32, sweepA, sweepB *rootSweep) {
 	delete(sc.m, a)
 	delete(sc.m, b)
-	// sweep(m): left atoms are {a, b}.
-	swM := collapseLeft(sweepA, 0)
-	for c, bc := range collapseLeft(sweepB, 1) {
-		if ex, ok := swM[c]; ok {
-			ex.cnt[1] = bc.cnt[1]
-		} else {
-			swM[c] = bc
+	// sweep(m): left atom 0 is a (sweepA's rows collapsed), atom 1 is b.
+	swM := sc.ctx.getSweep()
+	sweepA.each(func(c int32, bc *blockCounts) {
+		e := swM.entry(c)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				e.cnt[0][j] += bc.cnt[i][j]
+			}
 		}
-	}
-	delete(swM, a)
-	delete(swM, b)
+	})
+	sweepB.each(func(c int32, bc *blockCounts) {
+		e := swM.entry(c)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				e.cnt[1][j] += bc.cnt[i][j]
+			}
+		}
+	})
+	swM.del(a)
+	swM.del(b)
 	sc.m[m] = swM
-	// Retarget other cached sweeps.
+	sc.ctx.putSweep(sweepA)
+	sc.ctx.putSweep(sweepB)
+	// Retarget other cached sweeps: collapse their a/b columns into a
+	// fresh target m with atom columns {a, b}.
 	for _, sw := range sc.m {
-		bcA, okA := sw[a]
-		bcB, okB := sw[b]
-		if !okA && !okB {
+		if sw == swM {
 			continue
 		}
-		nb := &blockCounts{}
-		for i := 0; i < 2; i++ {
-			if okA {
-				nb.cnt[i][0] = bcA.cnt[i][0] + bcA.cnt[i][1]
-			}
-			if okB {
-				nb.cnt[i][1] = bcB.cnt[i][0] + bcB.cnt[i][1]
-			}
+		var colsA, colsB blockCounts
+		bcA, bcB := sw.get(a), sw.get(b)
+		if bcA == nil && bcB == nil {
+			continue
 		}
-		delete(sw, a)
-		delete(sw, b)
-		sw[m] = nb
+		// Copy before entry(): inserting m may grow the value arena and
+		// invalidate the bcA/bcB pointers.
+		if bcA != nil {
+			colsA = *bcA
+		}
+		if bcB != nil {
+			colsB = *bcB
+		}
+		sw.del(a)
+		sw.del(b)
+		nb := sw.entry(m)
+		for i := 0; i < 2; i++ {
+			nb.cnt[i][0] = colsA.cnt[i][0] + colsA.cnt[i][1]
+			nb.cnt[i][1] = colsB.cnt[i][0] + colsB.cnt[i][1]
+		}
 	}
 }
 
@@ -130,84 +187,127 @@ func (sc *sweepCache) afterMerge(a, b, m int32, sweepA, sweepB map[int32]*blockC
 // saving, and merge when the saving reaches the threshold. Returns the
 // number of merges performed.
 //
-// When st.workers > 1, partner evaluations (which are read-only on the
-// state) run concurrently; the argmax reduction scans results in index
-// order with a strict comparison, so parallel and serial runs pick
-// identical partners.
-func (st *state) processGroup(group []int32, theta float64, hb int) int {
-	q := append([]int32(nil), group...)
-	sc := newSweepCache(st)
+// The group owns its RNG (seeded deterministically from the run seed
+// and the group's position) and a reserved block of supernode ids, so
+// its outcome depends only on its own territory — the scheduler can run
+// non-conflicting groups concurrently and still reproduce the serial
+// result exactly. When innerWorkers > 1, partner evaluations (pure
+// reads of the state) additionally run concurrently; the argmax
+// reduction scans results in index order with a strict comparison, so
+// any worker count picks identical partners.
+func (st *state) processGroup(group []int32, rng *rand.Rand, ids []int32, ctx *gctx, theta float64, hb int, innerWorkers int) int {
+	q := append(ctx.qBuf[:0], group...)
+	sc := newSweepCache(st, ctx)
 	merges := 0
 	for len(q) > 1 {
-		i := st.rng.Intn(len(q))
+		i := rng.Intn(len(q))
 		a := q[i]
 		q[i] = q[len(q)-1]
 		q = q[:len(q)-1]
 
+		mid := ids[merges] // the id a committed merge would take
 		sweepA := sc.get(a)
 		var best *mergeDecision
 		bestIdx := -1
-		if st.workers > 1 && len(q) >= 2*st.workers {
-			best, bestIdx = st.argmaxParallel(a, q, sweepA, sc, theta, hb)
+		if innerWorkers > 1 && len(q) >= 2*innerWorkers {
+			best, bestIdx = st.argmaxParallel(ctx, a, mid, q, sweepA, sc, theta, hb, innerWorkers)
 		} else {
 			cutoff := theta
 			for j, z := range q {
-				dec := st.evaluateMerge(a, z, sweepA, sc.get(z), hb, cutoff)
-				if dec != nil && (best == nil || dec.saving > best.saving) {
+				dec := st.evaluateMerge(ctx, a, z, mid, sweepA, sc.get(z), hb, cutoff)
+				if dec == nil {
+					continue
+				}
+				if best == nil || dec.saving > best.saving {
+					ctx.putDec(best)
 					best = dec
 					bestIdx = j
 					if dec.saving > cutoff {
 						cutoff = dec.saving
 					}
+				} else {
+					ctx.putDec(dec)
 				}
 			}
 		}
 		if best != nil && best.saving >= theta {
 			sweepB := sc.get(best.b)
-			m := st.commitMerge(best)
-			sc.afterMerge(best.a, best.b, m, sweepA, sweepB)
-			q[bestIdx] = m
+			bA, bB := best.a, best.b
+			st.commitMerge(ctx, best, mid)
+			sc.afterMerge(bA, bB, mid, sweepA, sweepB)
+			q[bestIdx] = mid
 			merges++
+		} else {
+			ctx.putDec(best)
 		}
 	}
+	ctx.qBuf = q[:0]
+	sc.release()
 	return merges
 }
 
 // argmaxParallel evaluates all candidate partners concurrently.
-// Evaluations are pure reads of the summarization state; sweeps are
-// precomputed (also in parallel) and inserted into the cache serially.
-func (st *state) argmaxParallel(a int32, q []int32, sweepA map[int32]*blockCounts, sc *sweepCache, theta float64, hb int) (*mergeDecision, int) {
-	sweeps := make([]map[int32]*blockCounts, len(q))
-	missing := make([]int, 0, len(q))
+// Evaluations are pure reads of the summarization state; worker
+// goroutines borrow their own contexts from the state pool, build any
+// missing sweeps for their chunk, and share a monotone saving cutoff
+// through an atomic.
+//
+// The shared cutoff preserves determinism: a published cutoff is
+// strictly below the publishing candidate's saving (nextafter), and an
+// evaluation aborts only when its saving provably falls below the
+// cutoff — so every candidate achieving the maximum saving always
+// survives, and the index-ordered reduction picks the same partner as
+// a serial scan regardless of scheduling.
+func (st *state) argmaxParallel(ctx *gctx, a, mid int32, q []int32, sweepA *rootSweep, sc *sweepCache, theta float64, hb int, innerWorkers int) (*mergeDecision, int) {
+	sweeps, fresh, results := ctx.argmaxBufs(len(q))
 	for j, z := range q {
-		if sw, ok := sc.m[z]; ok {
-			sweeps[j] = sw
-		} else {
-			missing = append(missing, j)
-		}
+		sweeps[j] = sc.m[z] // nil when not cached yet
 	}
-	runChunks(st.workers, len(missing), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			j := missing[k]
-			sweeps[j] = st.sweep(q[j])
-		}
-	})
-	for _, j := range missing {
-		sc.m[q[j]] = sweeps[j]
-	}
-
-	results := make([]*mergeDecision, len(q))
-	runChunks(st.workers, len(q), func(lo, hi int) {
+	var cutoff atomic.Uint64
+	cutoff.Store(math.Float64bits(theta))
+	runChunks(innerWorkers, len(q), func(lo, hi int) {
+		wctx := st.getCtx()
 		for j := lo; j < hi; j++ {
-			results[j] = st.evaluateMerge(a, q[j], sweepA, sweeps[j], hb, theta)
+			sw := sweeps[j]
+			if sw == nil {
+				sw = st.sweepInto(wctx, q[j])
+				sweeps[j] = sw
+				fresh[j] = true
+			}
+			cut := math.Float64frombits(cutoff.Load())
+			dec := st.evaluateMerge(wctx, a, q[j], mid, sweepA, sw, hb, cut)
+			results[j] = dec
+			if dec == nil {
+				continue
+			}
+			pub := math.Float64bits(math.Nextafter(dec.saving, math.Inf(-1)))
+			for {
+				old := cutoff.Load()
+				if math.Float64frombits(old) >= math.Float64frombits(pub) ||
+					cutoff.CompareAndSwap(old, pub) {
+					break
+				}
+			}
 		}
+		st.putCtx(wctx)
 	})
+	for j := range fresh {
+		if fresh[j] {
+			sc.m[q[j]] = sweeps[j]
+		}
+	}
 	var best *mergeDecision
 	bestIdx := -1
 	for j, dec := range results {
-		if dec != nil && (best == nil || dec.saving > best.saving) {
+		if dec == nil {
+			continue
+		}
+		if best == nil || dec.saving > best.saving {
+			ctx.putDec(best)
 			best = dec
 			bestIdx = j
+		} else {
+			ctx.putDec(dec)
 		}
 	}
 	return best, bestIdx

@@ -317,10 +317,11 @@ func solveSmall(p *bipProblem) bipPlan {
 	return best
 }
 
-// materializeBip converts a plan into concrete signed edges, including
-// subnode-level correction lists for blocks that stay mixed.
-func (st *state) materializeBip(p *bipProblem, plan *bipPlan) []sedge {
-	var out []sedge
+// materializeBip converts a plan into concrete signed edges appended
+// to out, including subnode-level correction lists for blocks that
+// stay mixed. Vertex marks come from the caller's context, so commits
+// in different groups can materialize concurrently.
+func (st *state) materializeBip(ctx *gctx, out []sedge, p *bipProblem, plan *bipPlan) []sedge {
 	emit := func(a, b int32, v int8) {
 		if v != 0 {
 			out = append(out, sedge{a: a, b: b, sign: v})
@@ -351,11 +352,11 @@ func (st *state) materializeBip(p *bipProblem, plan *bipPlan) []sedge {
 			switch b + a {
 			case 0:
 				if gt > 0 {
-					out = st.appendBlockEdges(out, x, y, 1)
+					out = st.appendBlockEdges(ctx, out, x, y, 1)
 				}
 			case 1:
 				if gt < total {
-					out = st.appendBlockNonEdges(out, x, y, -1)
+					out = st.appendBlockNonEdges(ctx, out, x, y, -1)
 				}
 			default:
 				panic("core: materializeBip reached invalid net")
@@ -367,12 +368,12 @@ func (st *state) materializeBip(p *bipProblem, plan *bipPlan) []sedge {
 
 // appendBlockEdges appends one signed subnode edge per subedge between
 // the (disjoint) supernodes x and y.
-func (st *state) appendBlockEdges(out []sedge, x, y int32, sign int8) []sedge {
-	ep := st.nextEpoch()
-	st.markVerts(y, ep)
+func (st *state) appendBlockEdges(ctx *gctx, out []sedge, x, y int32, sign int8) []sedge {
+	ep := ctx.nextEpoch()
+	ctx.markVerts(y, ep)
 	for _, u := range st.verts[x] {
 		for _, w := range st.g.Neighbors(u) {
-			if st.mark[w] == ep {
+			if ctx.mark[w] == ep {
 				out = append(out, sedge{a: u, b: w, sign: sign})
 			}
 		}
@@ -382,14 +383,14 @@ func (st *state) appendBlockEdges(out []sedge, x, y int32, sign int8) []sedge {
 
 // appendBlockNonEdges appends one signed subnode edge per non-adjacent
 // pair between the (disjoint) supernodes x and y.
-func (st *state) appendBlockNonEdges(out []sedge, x, y int32, sign int8) []sedge {
+func (st *state) appendBlockNonEdges(ctx *gctx, out []sedge, x, y int32, sign int8) []sedge {
 	for _, u := range st.verts[x] {
-		ep := st.nextEpoch()
+		ep := ctx.nextEpoch()
 		for _, w := range st.g.Neighbors(u) {
-			st.mark[w] = ep
+			ctx.mark[w] = ep
 		}
 		for _, w := range st.verts[y] {
-			if st.mark[w] != ep {
+			if ctx.mark[w] != ep {
 				out = append(out, sedge{a: u, b: w, sign: sign})
 			}
 		}
@@ -399,15 +400,15 @@ func (st *state) appendBlockNonEdges(out []sedge, x, y int32, sign int8) []sedge
 
 // appendWithinNonEdges appends an n-edge for every non-adjacent pair
 // inside supernode x (used when the (M,M) scenario rewrites a side).
-func (st *state) appendWithinNonEdges(out []sedge, x int32, sign int8) []sedge {
+func (st *state) appendWithinNonEdges(ctx *gctx, out []sedge, x int32, sign int8) []sedge {
 	vs := st.verts[x]
 	for i, u := range vs {
-		ep := st.nextEpoch()
+		ep := ctx.nextEpoch()
 		for _, w := range st.g.Neighbors(u) {
-			st.mark[w] = ep
+			ctx.mark[w] = ep
 		}
 		for _, w := range vs[i+1:] {
-			if st.mark[w] != ep {
+			if ctx.mark[w] != ep {
 				out = append(out, sedge{a: u, b: w, sign: sign})
 			}
 		}

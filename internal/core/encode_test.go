@@ -174,6 +174,7 @@ func TestMaterializeExactnessUnderRandomMerges(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.ErdosRenyi(30, 120, seed)
 		st := newState(g, rand.New(rand.NewSource(seed)))
+		ctx := st.getCtx()
 		// Perform random valid merges regardless of saving.
 		for k := 0; k < 12; k++ {
 			roots := st.roots()
@@ -185,11 +186,9 @@ func TestMaterializeExactnessUnderRandomMerges(t *testing.T) {
 			if a == b {
 				continue
 			}
-			dec := st.evaluateMerge(a, b, st.sweep(a), st.sweep(b), 0, -1e18)
-			if dec == nil {
+			if st.tryMerge(ctx, a, b, 0, -1e18) < 0 {
 				continue
 			}
-			st.commitMerge(dec)
 			pr := newPruner(st)
 			sum := pr.emit()
 			if err := sum.Validate(g); err != nil {

@@ -3,6 +3,11 @@ package core
 // This file implements the merging step (Algorithm 2): computing the
 // saving of a candidate pair (Eq. (8)) by temporarily merging it, and
 // committing the best merge with the encoding update of Sect. III-B3.
+//
+// All transient objects of the evaluation inner loop (panel problems,
+// decisions, sweep results) are recycled through the caller's gctx, so
+// steady-state evaluations are allocation-free; commits allocate only
+// the long-lived encoding (exact-size edge lists and cross entries).
 
 // Within-encoding scenarios for Case 1.
 const (
@@ -194,8 +199,9 @@ func (st *state) fillCase2(p *bipProblem, mid, a, b, c int32, bcA, bcB *blockCou
 }
 
 // computeWithinPlan evaluates the three Case-1 scenarios and returns
-// the cheapest exact encoding of within(M).
-func (st *state) computeWithinPlan(a, b int32, bc *blockCounts) withinPlan {
+// the cheapest exact encoding of within(M). Panel problems come from
+// the context free-list; the losing scenario's problem is returned.
+func (st *state) computeWithinPlan(ctx *gctx, a, b int32, bc *blockCounts) withinPlan {
 	wA := int64(len(st.within[a]))
 	wB := int64(len(st.within[b]))
 	keepCost := wA + wB + st.crossLen(a, b)
@@ -205,7 +211,7 @@ func (st *state) computeWithinPlan(a, b int32, bc *blockCounts) withinPlan {
 	rewriteCost := inf
 	var plan1 bipPlan
 	if wA+wB+lb < keepCost {
-		prob1 = new(bipProblem)
+		prob1 = ctx.getProb()
 		st.fillCase1(prob1, a, b, bc, 0)
 		plan1 = solveBip(prob1)
 		rewriteCost = wA + wB + plan1.cost
@@ -241,7 +247,7 @@ func (st *state) computeWithinPlan(a, b int32, bc *blockCounts) withinPlan {
 		bound = rewriteCost
 	}
 	if 1+sideCost+lb < bound {
-		prob2 = new(bipProblem)
+		prob2 = ctx.getProb()
 		st.fillCase1(prob2, a, b, bc, 1)
 		plan2 = solveBip(prob2)
 		loopCost = 1 + sideCost + plan2.cost
@@ -249,18 +255,23 @@ func (st *state) computeWithinPlan(a, b int32, bc *blockCounts) withinPlan {
 
 	switch {
 	case keepCost <= rewriteCost && keepCost <= loopCost:
+		ctx.putProb(prob1)
+		ctx.putProb(prob2)
 		return withinPlan{cost: keepCost, scenario: withinKeep}
 	case rewriteCost <= loopCost:
+		ctx.putProb(prob2)
 		return withinPlan{cost: rewriteCost, scenario: withinRewrite, prob: prob1, plan: plan1}
 	default:
+		ctx.putProb(prob1)
 		return withinPlan{cost: loopCost, scenario: withinSelfLoop, prob: prob2, plan: plan2, sideMode: sideMode}
 	}
 }
 
 // computeCrossPlan evaluates keeping versus rewriting the encoding
-// between the merged tree and root C. The scratch problem avoids
-// allocation; it is copied into the plan only when a rewrite wins.
-func (st *state) computeCrossPlan(mid, a, b, c int32, eA, eB *crossEntry, bcA, bcB *blockCounts, scratch *bipProblem) crossPlan {
+// between the merged tree and root C. The context's scratch problem
+// avoids allocation; it is copied into a pooled problem only when a
+// rewrite wins.
+func (st *state) computeCrossPlan(ctx *gctx, mid, a, b, c int32, eA, eB *crossEntry, bcA, bcB *blockCounts) crossPlan {
 	var keepCost, gt int64
 	if eA != nil {
 		keepCost += int64(len(eA.edges))
@@ -273,25 +284,28 @@ func (st *state) computeCrossPlan(mid, a, b, c int32, eA, eB *crossEntry, bcA, b
 	if st.case2Bound(a, b, c, bcA, bcB) >= keepCost {
 		return crossPlan{c: c, keep: true, cost: keepCost, keepCost: keepCost, gt: gt}
 	}
+	scratch := &ctx.scratch
 	st.fillCase2(scratch, mid, a, b, c, bcA, bcB)
 	plan := solveBip(scratch)
 	if plan.cost < keepCost {
-		prob := *scratch
-		return crossPlan{c: c, keep: false, prob: &prob, plan: plan, cost: plan.cost, keepCost: keepCost, gt: gt}
+		prob := ctx.getProb()
+		*prob = *scratch
+		return crossPlan{c: c, keep: false, prob: prob, plan: plan, cost: plan.cost, keepCost: keepCost, gt: gt}
 	}
 	return crossPlan{c: c, keep: true, cost: keepCost, keepCost: keepCost, gt: gt}
 }
 
-// evaluateMerge temporarily merges roots a and b, returning the full
-// decision and its saving (Eq. (8)), or nil when the merge is
-// infeasible (zero denominator, or it would exceed the height bound hb;
-// hb <= 0 means unbounded — the original SLUGGER).
-// evaluateMerge evaluates merging roots a and b. minSaving is a sound
-// pruning cutoff: because the numerator only grows as neighbor costs
-// accumulate, the evaluation aborts (returning nil) as soon as the
-// saving provably falls below minSaving — such a pair can neither win
-// the argmax nor pass the merging threshold.
-func (st *state) evaluateMerge(a, b int32, sweepA, sweepB map[int32]*blockCounts, hb int, minSaving float64) *mergeDecision {
+// evaluateMerge evaluates merging roots a and b into the prospective
+// supernode id mid, returning the full decision and its saving
+// (Eq. (8)), or nil when the merge is infeasible (zero denominator, or
+// it would exceed the height bound hb; hb <= 0 means unbounded — the
+// original SLUGGER). minSaving is a sound pruning cutoff: because the
+// numerator only grows as neighbor costs accumulate, the evaluation
+// aborts (returning nil) as soon as the saving provably falls below
+// minSaving — such a pair can neither win the argmax nor pass the
+// merging threshold. mid must equal the id the merge would be committed
+// under, since rewritten panels reference it.
+func (st *state) evaluateMerge(ctx *gctx, a, b, mid int32, sweepA, sweepB *rootSweep, hb int, minSaving float64) *mergeDecision {
 	if hb > 0 {
 		h := st.height[a]
 		if st.height[b] > h {
@@ -305,18 +319,25 @@ func (st *state) evaluateMerge(a, b int32, sweepA, sweepB map[int32]*blockCounts
 	if denom <= 0 {
 		return nil
 	}
-	// numCutoff is the largest numerator still achieving minSaving.
-	numCutoff := int64((1-minSaving)*float64(denom) + 1e-9)
-	dec := &mergeDecision{a: a, b: b}
-	dec.within = st.computeWithinPlan(a, b, sweepA[b])
+	// numCutoff over-approximates the largest numerator still achieving
+	// minSaving. The slack must dominate the rounding error of the
+	// float64 product (~denom*2^-52), or a cutoff published by a
+	// concurrent float-tied evaluation could spuriously abort the true
+	// argmax on some schedules; a relative slack keeps the abort
+	// conservative at every magnitude, so ties always survive and the
+	// index-ordered reduction stays schedule-independent.
+	numCutoff := int64((1-minSaving)*float64(denom)) + 1 + int64(float64(denom)*1e-12)
+	dec := ctx.getDec()
+	dec.a, dec.b = a, b
+	dec.within = st.computeWithinPlan(ctx, a, b, sweepA.get(b))
 
 	num := st.hCost[a] + st.hCost[b] + 2 + dec.within.cost
 	if num > numCutoff {
+		ctx.putDec(dec)
 		return nil
 	}
-	var scratch bipProblem
 	addCross := func(c int32, eA, eB *crossEntry) bool {
-		cp := st.computeCrossPlan(st.next, a, b, c, eA, eB, sweepA[c], sweepB[c], &scratch)
+		cp := st.computeCrossPlan(ctx, mid, a, b, c, eA, eB, sweepA.get(c), sweepB.get(c))
 		dec.crosses = append(dec.crosses, cp)
 		num += cp.cost
 		return num <= numCutoff
@@ -324,6 +345,7 @@ func (st *state) evaluateMerge(a, b int32, sweepA, sweepB map[int32]*blockCounts
 	for c, eA := range st.nbrs[a] {
 		if c != b {
 			if !addCross(c, eA, st.nbrs[b][c]) {
+				ctx.putDec(dec)
 				return nil
 			}
 		}
@@ -336,6 +358,7 @@ func (st *state) evaluateMerge(a, b int32, sweepA, sweepB map[int32]*blockCounts
 			continue
 		}
 		if !addCross(c, nil, eB) {
+			ctx.putDec(dec)
 			return nil
 		}
 	}
@@ -344,62 +367,75 @@ func (st *state) evaluateMerge(a, b int32, sweepA, sweepB map[int32]*blockCounts
 	return dec
 }
 
-// commitMerge applies a merge decision: allocates the new supernode,
-// rewrites the encoding per the evaluated plans, and updates all
-// bookkeeping. Must be called with the state unchanged since the
-// decision was evaluated.
-func (st *state) commitMerge(dec *mergeDecision) int32 {
-	a, b := dec.a, dec.b
-	m := st.next
-	st.next++
+// exactEdges copies the context's edge-building scratch into an
+// exact-size long-lived slice.
+func exactEdges(buf []sedge) []sedge {
+	if len(buf) == 0 {
+		return nil
+	}
+	out := make([]sedge, len(buf))
+	copy(out, buf)
+	return out
+}
 
-	// Materialize within(M).
-	var w []sedge
+// commitMerge applies a merge decision under the supernode id m (which
+// must equal the mid the decision was evaluated with): it rewrites the
+// encoding per the evaluated plans and updates all bookkeeping. Must be
+// called with the decision-relevant state unchanged since evaluation.
+// Mutations of neighbor maps on roots outside the merged pair take the
+// per-root striped lock, so groups sharing an external neighbor can
+// commit concurrently. The decision is consumed (recycled into ctx).
+func (st *state) commitMerge(ctx *gctx, dec *mergeDecision, m int32) int32 {
+	a, b := dec.a, dec.b
+
+	// Materialize within(M) in the context scratch, then copy exact.
+	buf := ctx.edgeBuf[:0]
 	switch dec.within.scenario {
 	case withinKeep:
-		w = make([]sedge, 0, len(st.within[a])+len(st.within[b])+int(st.crossLen(a, b)))
-		w = append(w, st.within[a]...)
-		w = append(w, st.within[b]...)
+		buf = append(buf, st.within[a]...)
+		buf = append(buf, st.within[b]...)
 		if e, ok := st.nbrs[a][b]; ok {
-			w = append(w, e.edges...)
+			buf = append(buf, e.edges...)
 		}
 	case withinRewrite:
-		w = append(w, st.within[a]...)
-		w = append(w, st.within[b]...)
-		w = append(w, st.materializeBip(dec.within.prob, &dec.within.plan)...)
+		buf = append(buf, st.within[a]...)
+		buf = append(buf, st.within[b]...)
+		buf = st.materializeBip(ctx, buf, dec.within.prob, &dec.within.plan)
 	case withinSelfLoop:
-		w = append(w, sedge{a: m, b: m, sign: 1})
+		buf = append(buf, sedge{a: m, b: m, sign: 1})
 		for s, x := range [2]int32{a, b} {
 			switch dec.within.sideMode[s] {
 			case sideNLoopKeep:
-				w = append(w, sedge{a: x, b: x, sign: -1})
-				w = append(w, st.within[x]...)
+				buf = append(buf, sedge{a: x, b: x, sign: -1})
+				buf = append(buf, st.within[x]...)
 			case sideDrop:
 				// nothing: (M,M) alone covers the complete side
 			case sideNList:
-				w = st.appendWithinNonEdges(w, x, -1)
+				buf = st.appendWithinNonEdges(ctx, buf, x, -1)
 			}
 		}
-		w = append(w, st.materializeBip(dec.within.prob, &dec.within.plan)...)
+		buf = st.materializeBip(ctx, buf, dec.within.prob, &dec.within.plan)
 	}
+	w := exactEdges(buf)
+	ctx.edgeBuf = buf[:0]
 
 	// Materialize the cross entries before mutating locators.
 	newEntries := make([]*crossEntry, len(dec.crosses))
 	for i := range dec.crosses {
 		cp := &dec.crosses[i]
-		var edges []sedge
+		buf = ctx.edgeBuf[:0]
 		if cp.keep {
-			edges = make([]sedge, 0, cp.keepCost)
 			if e, ok := st.nbrs[a][cp.c]; ok {
-				edges = append(edges, e.edges...)
+				buf = append(buf, e.edges...)
 			}
 			if e, ok := st.nbrs[b][cp.c]; ok {
-				edges = append(edges, e.edges...)
+				buf = append(buf, e.edges...)
 			}
 		} else {
-			edges = st.materializeBip(cp.prob, &cp.plan)
+			buf = st.materializeBip(ctx, buf, cp.prob, &cp.plan)
 		}
-		newEntries[i] = &crossEntry{edges: edges, gt: cp.gt}
+		newEntries[i] = &crossEntry{edges: exactEdges(buf), gt: cp.gt}
+		ctx.edgeBuf = buf[:0]
 	}
 
 	var gtAB int64
@@ -407,36 +443,42 @@ func (st *state) commitMerge(dec *mergeDecision) int32 {
 		gtAB = e.gt
 	}
 
-	// Allocate M.
-	st.parent = append(st.parent, -1)
-	st.child = append(st.child, [2]int32{a, b})
-	st.size = append(st.size, st.size[a]+st.size[b])
+	// Allocate M at its reserved id.
+	st.parent[m] = -1
+	st.child[m] = [2]int32{a, b}
+	st.size[m] = st.size[a] + st.size[b]
 	h := st.height[a]
 	if st.height[b] > h {
 		h = st.height[b]
 	}
-	st.height = append(st.height, h+1)
+	st.height[m] = h + 1
 	vs := make([]int32, 0, st.size[a]+st.size[b])
 	vs = append(vs, st.verts[a]...)
 	vs = append(vs, st.verts[b]...)
-	st.verts = append(st.verts, vs)
-	st.hCost = append(st.hCost, st.hCost[a]+st.hCost[b]+2)
-	st.within = append(st.within, w)
-	st.pcost = append(st.pcost, 0)
-	st.selfGT = append(st.selfGT, st.selfGT[a]+st.selfGT[b]+gtAB)
-	st.nbrs = append(st.nbrs, make(map[int32]*crossEntry, len(dec.crosses)))
+	st.verts[m] = vs
+	st.hCost[m] = st.hCost[a] + st.hCost[b] + 2
+	st.within[m] = w
+	st.selfGT[m] = st.selfGT[a] + st.selfGT[b] + gtAB
+	st.nbrs[m] = make(map[int32]*crossEntry, len(dec.crosses))
 
-	// Swap in the new cross entries.
+	// Swap in the new cross entries. The neighbor c may be shared with
+	// another concurrently-committing group; its map and pcost are
+	// guarded by the striped lock. st.nbrs[m] is group-owned.
 	var crossTotal int64
 	for i := range dec.crosses {
 		cp := &dec.crosses[i]
 		c := cp.c
+		entry := newEntries[i]
+		st.nbrs[m][c] = entry
+		delta := int64(len(entry.edges)) - cp.keepCost
+		mu := st.stripe(c)
+		mu.Lock()
 		delete(st.nbrs[c], a)
 		delete(st.nbrs[c], b)
-		st.nbrs[c][m] = newEntries[i]
-		st.nbrs[m][c] = newEntries[i]
-		st.pcost[c] += int64(len(newEntries[i].edges)) - cp.keepCost
-		crossTotal += int64(len(newEntries[i].edges))
+		st.nbrs[c][m] = entry
+		st.pcost[c] += delta
+		mu.Unlock()
+		crossTotal += int64(len(entry.edges))
 	}
 	st.pcost[m] = int64(len(w)) + crossTotal
 
@@ -457,7 +499,26 @@ func (st *state) commitMerge(dec *mergeDecision) int32 {
 	st.nbrs[b] = nil
 	st.pcost[a] = 0
 	st.pcost[b] = 0
+	ctx.putDec(dec)
 	return m
+}
+
+// tryMerge evaluates merging roots a and b with freshly-built sweeps
+// and commits when feasible, returning the new supernode id or -1.
+// Serial-phase helper used by tests and simple callers.
+func (st *state) tryMerge(ctx *gctx, a, b int32, hb int, minSaving float64) int32 {
+	ids := st.reserveIDs(1)
+	mid := ids[0]
+	sweepA := st.sweepInto(ctx, a)
+	sweepB := st.sweepInto(ctx, b)
+	dec := st.evaluateMerge(ctx, a, b, mid, sweepA, sweepB, hb, minSaving)
+	ctx.putSweep(sweepA)
+	ctx.putSweep(sweepB)
+	if dec == nil {
+		st.releaseIDs(ids)
+		return -1
+	}
+	return st.commitMerge(ctx, dec, mid)
 }
 
 // totalCost recomputes the full encoding cost |P+|+|P-|+|H| from the

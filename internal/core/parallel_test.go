@@ -1,14 +1,17 @@
 package core
 
 import (
+	"math/rand"
 	"runtime"
 	"testing"
 
 	"repro/internal/graph"
 )
 
-// Parallel partner evaluation must be bit-identical to the serial run:
-// evaluations are pure reads and the argmax scans in index order.
+// The parallel candidate-group pipeline must be bit-identical to the
+// serial run: groups own deterministic RNGs and reserved id blocks,
+// non-conflicting groups commute, and conflicting groups keep their
+// serial order across waves.
 func TestParallelMatchesSerial(t *testing.T) {
 	graphs := []*graph.Graph{
 		graph.Caveman(6, 8, 4, 3),
@@ -38,6 +41,52 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// Determinism across the whole worker-count axis: every worker count
+// must produce byte-identical summary costs, merge counts, supernode
+// counts and per-iteration cost traces for a fixed seed.
+func TestGroupPipelineDeterministicAcrossWorkerCounts(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.HierCommunity(graph.HierParams{
+			Levels: 2, Branching: 5, LeafSize: 7,
+			Density: []float64{0.02, 0.2, 0.8},
+		}, 29),
+		graph.BarabasiAlbert(200, 3, 31),
+	}
+	for gi, g := range graphs {
+		for _, seed := range []int64{1, 42} {
+			var refCosts []int64
+			var refFinal int64
+			var refMerges, refSupernodes int
+			for wi, workers := range []int{1, 2, 3, 4, 8} {
+				var costs []int64
+				sum, stats := Summarize(g, Config{
+					T: 6, Seed: seed, Workers: workers,
+					OnIteration: func(t int, c int64) { costs = append(costs, c) },
+				})
+				if wi == 0 {
+					refCosts = costs
+					refFinal = sum.Cost()
+					refMerges = stats.Merges
+					refSupernodes = sum.NumSupernodes()
+					continue
+				}
+				if sum.Cost() != refFinal || stats.Merges != refMerges ||
+					sum.NumSupernodes() != refSupernodes {
+					t.Fatalf("graph %d seed %d workers %d: cost/merges/supernodes %d/%d/%d, want %d/%d/%d",
+						gi, seed, workers, sum.Cost(), stats.Merges, sum.NumSupernodes(),
+						refFinal, refMerges, refSupernodes)
+				}
+				for i := range refCosts {
+					if costs[i] != refCosts[i] {
+						t.Fatalf("graph %d seed %d workers %d: iteration %d cost %d, want %d",
+							gi, seed, workers, i+1, costs[i], refCosts[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // Run a parallel summarization under the race detector's eye (the test
 // is meaningful with `go test -race`).
 func TestParallelNoRaces(t *testing.T) {
@@ -45,5 +94,103 @@ func TestParallelNoRaces(t *testing.T) {
 	sum, _ := Summarize(g, Config{T: 8, Seed: 13, Workers: runtime.NumCPU()})
 	if err := sum.Validate(g); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// allocState builds a mid-run merge state for the allocation tests.
+func allocState(tb testing.TB) *state {
+	g := graph.HierCommunity(graph.HierParams{
+		Levels: 2, Branching: 6, LeafSize: 8,
+		Density: []float64{0.01, 0.15, 0.8},
+	}, 7)
+	rng := rand.New(rand.NewSource(1))
+	st := newState(g, rng)
+	for k := 0; k < 60; k++ {
+		mergeRandomPair(st, rng)
+	}
+	return st
+}
+
+// The seed implementation allocated ~19 objects per sweep (one pointer
+// per adjacent root plus map buckets). The arena-backed sweep must stay
+// allocation-free in steady state; allow a little slack for map-bucket
+// rehashing inside the recycled lookup tables.
+func TestSweepAllocationFree(t *testing.T) {
+	st := allocState(t)
+	ctx := st.getCtx()
+	roots := st.roots()
+	// Warm the free-lists.
+	for _, r := range roots {
+		ctx.putSweep(st.sweepInto(ctx, r))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		ctx.putSweep(st.sweepInto(ctx, roots[i%len(roots)]))
+		i++
+	})
+	if avg > 1.0 {
+		t.Fatalf("sweep allocates %.2f objects per op, want <= 1", avg)
+	}
+	st.putCtx(ctx)
+}
+
+// evaluateMerge recycles decisions, panel problems and scratch through
+// the context, so steady-state partner evaluations allocate nothing.
+func TestEvaluateMergeAllocationFree(t *testing.T) {
+	st := allocState(t)
+	ctx := st.getCtx()
+	roots := st.roots()
+	sweeps := make([]*rootSweep, len(roots))
+	for i, r := range roots {
+		sweeps[i] = st.sweepInto(ctx, r)
+	}
+	mid := st.reserveIDs(1)[0]
+	// Warm the decision/problem free-lists.
+	for j := 0; j+1 < len(roots); j++ {
+		ctx.putDec(st.evaluateMerge(ctx, roots[j], roots[j+1], mid, sweeps[j], sweeps[j+1], 0, -1e18))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		j := i % (len(roots) - 1)
+		ctx.putDec(st.evaluateMerge(ctx, roots[j], roots[j+1], mid, sweeps[j], sweeps[j+1], 0, -1e18))
+		i++
+	})
+	if avg > 0.5 {
+		t.Fatalf("evaluateMerge allocates %.2f objects per op, want ~0", avg)
+	}
+	st.releaseIDs([]int32{mid})
+	st.putCtx(ctx)
+}
+
+// BenchmarkSweep measures the merge inner loop's sweep on a mid-run
+// state (the seed implementation: ~1.5us, 19 allocs/op).
+func BenchmarkSweep(b *testing.B) {
+	st := allocState(b)
+	ctx := st.getCtx()
+	roots := st.roots()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.putSweep(st.sweepInto(ctx, roots[i%len(roots)]))
+	}
+}
+
+// BenchmarkEvaluateMerge measures one partner evaluation on a mid-run
+// state (the seed implementation: 1 alloc/op plus panel allocations on
+// the evaluation paths that built problems).
+func BenchmarkEvaluateMerge(b *testing.B) {
+	st := allocState(b)
+	ctx := st.getCtx()
+	roots := st.roots()
+	sweeps := make([]*rootSweep, len(roots))
+	for i, r := range roots {
+		sweeps[i] = st.sweepInto(ctx, r)
+	}
+	mid := st.reserveIDs(1)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % (len(roots) - 1)
+		ctx.putDec(st.evaluateMerge(ctx, roots[j], roots[j+1], mid, sweeps[j], sweeps[j+1], 0, -1e18))
 	}
 }

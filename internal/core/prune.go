@@ -42,6 +42,11 @@ func newPruner(st *state) *pruner {
 		rng:      st.rng,
 	}
 	for id := 0; id < total; id++ {
+		if st.parent[id] == unborn {
+			// Reserved-but-unallocated id: not a supernode.
+			p.parent[id] = -1
+			continue
+		}
 		p.alive[id] = true
 		p.adj[id] = make(map[int32]int32)
 		if pr := st.parent[id]; pr >= 0 {

@@ -12,8 +12,9 @@ import (
 func TestStep1RemovesEdgelessSupernode(t *testing.T) {
 	g := graph.FromEdges(2, nil)
 	st := newState(g, rand.New(rand.NewSource(1)))
+	ctx := st.getCtx()
 	dec := &mergeDecision{a: 0, b: 1, within: withinPlan{scenario: withinKeep}}
-	m := st.commitMerge(dec)
+	m := st.commitMerge(ctx, dec, st.reserveIDs(1)[0])
 	pr := newPruner(st)
 	if pr.cost() != 2 {
 		t.Fatalf("pre-prune cost = %d, want 2 (two h-edges)", pr.cost())
@@ -41,11 +42,11 @@ func TestStep2PushesSingleEdgeDown(t *testing.T) {
 	// the single cross edge (M, 0).
 	g := graph.FromEdges(3, [][2]int32{{0, 1}, {0, 2}})
 	st := newState(g, rand.New(rand.NewSource(1)))
-	dec := st.evaluateMerge(1, 2, st.sweep(1), st.sweep(2), 0, -1e18)
-	if dec == nil {
+	ctx := st.getCtx()
+	m := st.tryMerge(ctx, 1, 2, 0, -1e18)
+	if m < 0 {
 		t.Fatal("merge evaluation failed")
 	}
-	m := st.commitMerge(dec)
 	pr := newPruner(st)
 	preCost := pr.cost() // 2 h-edges + 1 p-edge = 3
 	if preCost != 3 {
@@ -76,12 +77,13 @@ func TestStep2FlipsOppositeEdges(t *testing.T) {
 	// (1,2) p-edge.
 	g := graph.FromEdges(3, [][2]int32{{0, 2}})
 	st := newState(g, rand.New(rand.NewSource(1)))
-	m := st.next
+	ctx := st.getCtx()
+	m := st.reserveIDs(1)[0]
 	dec := &mergeDecision{a: 0, b: 1, within: withinPlan{scenario: withinKeep}}
 	dec.crosses = []crossPlan{{c: 2, keep: false, gt: 1,
 		prob: &bipProblem{}, plan: bipPlan{}}}
 	// Hand-build the cross entry instead of materializing the plan.
-	st.commitMerge(dec)
+	st.commitMerge(ctx, dec, m)
 	entry := &crossEntry{edges: []sedge{{a: m, b: 2, sign: 1}, {a: 1, b: 2, sign: -1}}, gt: 1}
 	st.nbrs[m][2] = entry
 	st.nbrs[2][m] = entry
@@ -113,7 +115,7 @@ func TestStep3AdoptsFlatEncoding(t *testing.T) {
 	// subnode edges.
 	dec := &mergeDecision{a: 0, b: 1, within: withinPlan{scenario: withinKeep}}
 	dec.crosses = []crossPlan{{c: 2, keep: true, keepCost: 2, gt: 2}}
-	m := st.commitMerge(dec)
+	m := st.commitMerge(st.getCtx(), dec, st.reserveIDs(1)[0])
 	pr := newPruner(st)
 	if pr.totalPN != 2 {
 		t.Fatalf("pre-step3 p/n edges = %d, want 2", pr.totalPN)
@@ -139,9 +141,7 @@ func TestPruneRunStopsWhenStable(t *testing.T) {
 	g := graph.Caveman(3, 5, 2, 3)
 	st := newState(g, rand.New(rand.NewSource(2)))
 	for t2 := 1; t2 <= 3; t2++ {
-		for _, grp := range st.generateCandidates(t2, 100, 5, 2) {
-			st.processGroup(grp, Threshold(t2, 3), 0)
-		}
+		st.runIteration(st.generateCandidates(t2, 100, 5, 2), t2, 2, Threshold(t2, 3), 0)
 	}
 	pr := newPruner(st)
 	var calls []int
@@ -165,9 +165,7 @@ func TestPrunerCostMatchesEmittedModel(t *testing.T) {
 		g := graph.ErdosRenyi(40, 140, seed)
 		st := newState(g, rand.New(rand.NewSource(seed)))
 		for t2 := 1; t2 <= 4; t2++ {
-			for _, grp := range st.generateCandidates(t2, 100, 5, seed) {
-				st.processGroup(grp, Threshold(t2, 4), 0)
-			}
+			st.runIteration(st.generateCandidates(t2, 100, 5, seed), t2, seed, Threshold(t2, 4), 0)
 		}
 		pr := newPruner(st)
 		for i, step := range []func() bool{pr.step1, pr.step2, pr.step3} {

@@ -27,9 +27,11 @@ type Config struct {
 	SkipPrune bool
 	// Seed drives all randomness; runs are deterministic given a seed.
 	Seed int64
-	// Workers sets the number of concurrent partner evaluations during
-	// merging (default 1 = serial). Evaluations are read-only, so any
-	// worker count produces exactly the same summary as a serial run.
+	// Workers sets the size of the worker pool that processes candidate
+	// groups during merging (default 1 = serial). Non-conflicting groups
+	// run concurrently and undersized waves fall back to concurrent
+	// partner evaluations, so any worker count produces exactly the same
+	// summary as a serial run for a fixed seed.
 	Workers int
 
 	// OnIteration, if non-nil, is invoked after each merging iteration
@@ -88,9 +90,8 @@ func Summarize(g *graph.Graph, cfg Config) (*model.Summary, Stats) {
 
 	for t := 1; t <= cfg.T; t++ {
 		theta := Threshold(t, cfg.T)
-		for _, group := range st.generateCandidates(t, cfg.MaxGroup, cfg.MaxLevels, cfg.Seed) {
-			stats.Merges += st.processGroup(group, theta, cfg.Hb)
-		}
+		groups := st.generateCandidates(t, cfg.MaxGroup, cfg.MaxLevels, cfg.Seed)
+		stats.Merges += st.runIteration(groups, t, cfg.Seed, theta, cfg.Hb)
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(t, st.totalCost())
 		}

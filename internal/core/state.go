@@ -55,15 +55,27 @@ type crossEntry struct {
 	gt    int64
 }
 
+// unborn marks a supernode id that has been reserved for a candidate
+// group but not (yet) allocated by a merge. Reserved-but-unused ids are
+// recycled through the free list, so the id space stays O(n) even
+// though every group reserves its worst-case id block up front.
+const unborn = int32(-2)
+
+// numStripes is the size of the striped mutex table protecting
+// neighbor-map mutations on roots outside the committing group. Powers
+// of two keep the stripe computation a mask.
+const numStripes = 64
+
 // state is the mutable summarization state of Algorithm 1.
 // Supernode ids 0..n-1 are the input vertices (leaves); merges allocate
-// fresh ids upward. During the merge phase the hierarchy is binary.
+// fresh ids upward from per-group reserved blocks. During the merge
+// phase the hierarchy is binary.
 type state struct {
 	g *graph.Graph
 	n int32 // number of vertices
 
 	// Hierarchy (indexed by supernode id).
-	parent []int32
+	parent []int32    // -1 root, -2 (unborn) reserved-but-unallocated
 	child  [][2]int32 // {-1,-1} for leaves
 	size   []int32    // number of subnodes
 	height []int32    // height of the subtree rooted here
@@ -81,13 +93,27 @@ type state struct {
 	selfGT []int64                 // ground-truth subedge count within the tree
 	nbrs   []map[int32]*crossEntry // adjacent root -> shared entry
 
-	next    int32 // next fresh supernode id
+	next    int32   // id high-water mark
+	free    []int32 // recycled reserved-but-unused ids
 	rng     *rand.Rand
-	workers int // concurrent partner evaluations (1 = serial)
+	workers int // worker pool size for the group pipeline (1 = serial)
 
-	// Epoch-stamped scratch marks over vertices.
+	// Per-goroutine scratch contexts (see pool.go).
+	ctxPool sync.Pool
+
+	// Striped locks serializing neighbor-map mutations on roots shared
+	// between concurrently-committing groups.
+	nbrMu [numStripes]sync.Mutex
+
+	// Epoch-stamped scratch marks over vertices, used by the serial
+	// phases (pruning). Group processing uses per-context marks.
 	mark  []int32
 	epoch int32
+}
+
+// stripe returns the mutex guarding cross-map mutations on root c.
+func (st *state) stripe(c int32) *sync.Mutex {
+	return &st.nbrMu[uint32(c)&(numStripes-1)]
 }
 
 func newState(g *graph.Graph, rng *rand.Rand) *state {
@@ -110,6 +136,7 @@ func newState(g *graph.Graph, rng *rand.Rand) *state {
 		nbrs:    make([]map[int32]*crossEntry, n, cap),
 		next:    n,
 		rng:     rng,
+		workers: 1,
 		mark:    make([]int32, n),
 	}
 	leafIDs := make([]int32, n)
@@ -132,6 +159,52 @@ func newState(g *graph.Graph, rng *rand.Rand) *state {
 		st.pcost[v]++
 	})
 	return st
+}
+
+// ensureLen grows every id-indexed slice to length n, marking the new
+// tail unborn. Only called serially (between waves), never while group
+// workers are running.
+func (st *state) ensureLen(n int) {
+	for len(st.parent) < n {
+		st.parent = append(st.parent, unborn)
+		st.child = append(st.child, [2]int32{-1, -1})
+		st.size = append(st.size, 0)
+		st.height = append(st.height, 0)
+		st.verts = append(st.verts, nil)
+		st.hCost = append(st.hCost, 0)
+		st.within = append(st.within, nil)
+		st.pcost = append(st.pcost, 0)
+		st.selfGT = append(st.selfGT, 0)
+		st.nbrs = append(st.nbrs, nil)
+	}
+}
+
+// reserveIDs hands out k supernode ids, recycling ids reserved by
+// earlier iterations but never allocated, then extending the id space.
+// The result is deterministic for a deterministic merge history, which
+// keeps fresh supernode ids — and hence candidate-group contents and
+// per-group RNG streams — identical across worker counts.
+func (st *state) reserveIDs(k int) []int32 {
+	ids := make([]int32, 0, k)
+	for k > 0 && len(st.free) > 0 {
+		ids = append(ids, st.free[len(st.free)-1])
+		st.free = st.free[:len(st.free)-1]
+		k--
+	}
+	if k > 0 {
+		base := st.next
+		st.next += int32(k)
+		st.ensureLen(int(st.next))
+		for i := 0; i < k; i++ {
+			ids = append(ids, base+int32(i))
+		}
+	}
+	return ids
+}
+
+// releaseIDs returns unused reserved ids to the free list.
+func (st *state) releaseIDs(ids []int32) {
+	st.free = append(st.free, ids...)
 }
 
 // roots returns all current root supernode ids.
@@ -174,17 +247,10 @@ func atomIndex(atoms [2]int32, unit int32) int {
 	return 1
 }
 
-// nextEpoch advances the vertex mark epoch.
+// nextEpoch advances the vertex mark epoch (serial phases only).
 func (st *state) nextEpoch() int32 {
 	st.epoch++
 	return st.epoch
-}
-
-// markVerts stamps the vertices of supernode sn with the current epoch.
-func (st *state) markVerts(sn int32, epoch int32) {
-	for _, v := range st.verts[sn] {
-		st.mark[v] = epoch
-	}
 }
 
 // crossLen returns the number of signed edges currently encoding the
@@ -205,47 +271,6 @@ func (st *state) rootCost(a int32) int64 {
 // root and the atoms of each adjacent root.
 type blockCounts struct {
 	cnt [2][2]int64 // [sweptAtomIdx][targetAtomIdx]
-}
-
-// sweep counts, for root X, the subedges from X's atoms to the atoms of
-// every other adjacent root. Complexity O(sum of degrees in X), the
-// bound used in Lemma 3.
-func (st *state) sweep(x int32) map[int32]*blockCounts {
-	out := make(map[int32]*blockCounts)
-	atoms := st.atomsOf(x)
-	for _, u := range st.verts[x] {
-		la := atomIndex(atoms, st.topUnit[u])
-		for _, w := range st.g.Neighbors(u) {
-			c := st.rootOf[w]
-			if c == x {
-				continue
-			}
-			bc := out[c]
-			if bc == nil {
-				bc = &blockCounts{}
-				out[c] = bc
-			}
-			catoms := st.atomsOf(c)
-			bc.cnt[la][atomIndex(catoms, st.topUnit[w])]++
-		}
-	}
-	return out
-}
-
-// countBlock counts the subedges between the vertex sets of supernodes
-// x and y (assumed disjoint), in O(|y| + sum of degrees in x).
-func (st *state) countBlock(x, y int32) int64 {
-	ep := st.nextEpoch()
-	st.markVerts(y, ep)
-	var cnt int64
-	for _, u := range st.verts[x] {
-		for _, w := range st.g.Neighbors(u) {
-			if st.mark[w] == ep {
-				cnt++
-			}
-		}
-	}
-	return cnt
 }
 
 // pairsWithin returns the number of unordered vertex pairs inside a

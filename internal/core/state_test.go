@@ -24,6 +24,8 @@ func bruteBlockCount(st *state, g *graph.Graph, x, y int32) int64 {
 // mergeRandomPair merges one random feasible root pair, returning the
 // new supernode id or -1.
 func mergeRandomPair(st *state, rng *rand.Rand) int32 {
+	ctx := st.getCtx()
+	defer st.putCtx(ctx)
 	roots := st.roots()
 	for tries := 0; tries < 20; tries++ {
 		a := roots[rng.Intn(len(roots))]
@@ -31,11 +33,9 @@ func mergeRandomPair(st *state, rng *rand.Rand) int32 {
 		if a == b {
 			continue
 		}
-		dec := st.evaluateMerge(a, b, st.sweep(a), st.sweep(b), 0, -1e18)
-		if dec == nil {
-			continue
+		if m := st.tryMerge(ctx, a, b, 0, -1e18); m >= 0 {
+			return m
 		}
-		return st.commitMerge(dec)
 	}
 	return -1
 }
@@ -47,10 +47,11 @@ func TestSweepMatchesBruteForce(t *testing.T) {
 	for k := 0; k < 10; k++ {
 		mergeRandomPair(st, rng)
 	}
+	ctx := st.getCtx()
 	for _, x := range st.roots() {
-		sw := st.sweep(x)
+		sw := st.sweepInto(ctx, x)
 		xa := st.atomsOf(x)
-		for c, bc := range sw {
+		sw.each(func(c int32, bc *blockCounts) {
 			ca := st.atomsOf(c)
 			for i := 0; i < numAtoms(xa); i++ {
 				for j := 0; j < numAtoms(ca); j++ {
@@ -61,8 +62,10 @@ func TestSweepMatchesBruteForce(t *testing.T) {
 					}
 				}
 			}
-		}
+		})
+		ctx.putSweep(sw)
 	}
+	st.putCtx(ctx)
 }
 
 func TestSelfGTMatchesBruteForce(t *testing.T) {
@@ -163,7 +166,8 @@ func TestSweepCacheAfterMergeConsistent(t *testing.T) {
 	g := graph.ErdosRenyi(40, 160, 17)
 	rng := rand.New(rand.NewSource(6))
 	st := newState(g, rng)
-	sc := newSweepCache(st)
+	ctx := st.getCtx()
+	sc := newSweepCache(st, ctx)
 	roots := st.roots()
 	// Warm the cache for several roots.
 	for _, r := range roots[:10] {
@@ -171,32 +175,41 @@ func TestSweepCacheAfterMergeConsistent(t *testing.T) {
 	}
 	// Merge two of them and verify every cached sweep equals a fresh one.
 	var dec *mergeDecision
-	var a, b int32
+	var a, b, mid int32
 	for i := 0; i < len(roots)-1 && dec == nil; i++ {
 		a, b = roots[i], roots[i+1]
-		dec = st.evaluateMerge(a, b, sc.get(a), sc.get(b), 0, -1e18)
+		mid = st.reserveIDs(1)[0]
+		dec = st.evaluateMerge(ctx, a, b, mid, sc.get(a), sc.get(b), 0, -1e18)
+		if dec == nil {
+			st.releaseIDs([]int32{mid})
+		}
 	}
 	if dec == nil {
 		t.Fatal("no feasible pair found")
 	}
 	sweepA, sweepB := sc.get(a), sc.get(b)
-	m := st.commitMerge(dec)
+	m := st.commitMerge(ctx, dec, mid)
 	sc.afterMerge(a, b, m, sweepA, sweepB)
+	fctx := st.getCtx()
 	for r, cached := range sc.m {
-		fresh := st.sweep(r)
-		if len(cached) != len(fresh) {
-			t.Fatalf("sweep(%d): cached %d targets, fresh %d", r, len(cached), len(fresh))
+		fresh := st.sweepInto(fctx, r)
+		if cached.size() != fresh.size() {
+			t.Fatalf("sweep(%d): cached %d targets, fresh %d", r, cached.size(), fresh.size())
 		}
-		for c, bc := range fresh {
-			got, ok := cached[c]
-			if !ok {
+		fresh.each(func(c int32, bc *blockCounts) {
+			got := cached.get(c)
+			if got == nil {
 				t.Fatalf("sweep(%d): missing target %d", r, c)
 			}
 			if got.cnt != bc.cnt {
 				t.Fatalf("sweep(%d)[%d]: cached %v, fresh %v", r, c, got.cnt, bc.cnt)
 			}
-		}
+		})
+		fctx.putSweep(fresh)
 	}
+	st.putCtx(fctx)
+	sc.release()
+	st.putCtx(ctx)
 }
 
 func TestRootShinglesEqualNeighborhoodsMatch(t *testing.T) {

@@ -31,6 +31,7 @@ func Ablation(opt Options, dataset string) []AblationRow {
 
 	run := func(name string, cfg core.Config) AblationRow {
 		cfg.Seed = opt.Seed
+		cfg.Workers = opt.Workers
 		if cfg.T == 0 {
 			cfg.T = opt.T
 		}

@@ -37,7 +37,7 @@ func Bytes(opt Options, names []string) []BytesRow {
 			continue
 		}
 		g := spec.Generate(opt.Scale, opt.Seed)
-		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Workers: opt.Workers})
 		gBytes := graph.SerializedSize(g)
 		sBytes, werr := s.WriteTo(io.Discard)
 		if werr != nil {

@@ -25,11 +25,12 @@ import (
 
 // Options configures a run of the experiment suite.
 type Options struct {
-	Scale  float64 // dataset scale factor (1.0 = default analogue size)
-	Seed   int64
-	Trials int // runs averaged per measurement (paper: 5)
-	T      int // SLUGGER/SWeG iterations (paper: 20)
-	Out    io.Writer
+	Scale   float64 // dataset scale factor (1.0 = default analogue size)
+	Seed    int64
+	Trials  int // runs averaged per measurement (paper: 5)
+	T       int // SLUGGER/SWeG iterations (paper: 20)
+	Workers int // SLUGGER candidate-group pipeline workers (0/1 = serial)
+	Out     io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -46,11 +47,12 @@ func (o Options) withDefaults() Options {
 }
 
 // Algorithms returns the five compared summarizers (paper Sect. IV-A),
-// each reporting its model's encoding cost.
-func Algorithms(T int) *summarize.Registry {
+// each reporting its model's encoding cost. workers sets SLUGGER's
+// candidate-group pipeline width (the baselines stay serial).
+func Algorithms(T, workers int) *summarize.Registry {
 	reg := summarize.NewRegistry()
 	reg.Register(summarize.Func{AlgName: "Slugger", F: func(g *graph.Graph, seed int64) int64 {
-		s, _ := core.Summarize(g, core.Config{T: T, Seed: seed})
+		s, _ := core.Summarize(g, core.Config{T: T, Seed: seed, Workers: workers})
 		return s.Cost()
 	}})
 	reg.Register(summarize.Func{AlgName: "SWeG", F: func(g *graph.Graph, seed int64) int64 {
@@ -73,7 +75,7 @@ func Algorithms(T int) *summarize.Registry {
 // dataset then algorithm.
 func Fig5a(opt Options) map[string]map[string]summarize.Result {
 	opt = opt.withDefaults()
-	reg := Algorithms(opt.T)
+	reg := Algorithms(opt.T, opt.Workers)
 	out := make(map[string]map[string]summarize.Result)
 	fmt.Fprintf(opt.Out, "=== Fig 5(a): relative size of outputs (scale=%.2f, trials=%d) ===\n", opt.Scale, opt.Trials)
 	fmt.Fprintf(opt.Out, "%-4s %10s", "data", "|E|")
@@ -101,7 +103,7 @@ func Fig5a(opt Options) map[string]map[string]summarize.Result {
 // SLUGGER's speedups over SWeG and SAGS.
 func Fig5b(opt Options) map[string]map[string]summarize.Result {
 	opt = opt.withDefaults()
-	reg := Algorithms(opt.T)
+	reg := Algorithms(opt.T, opt.Workers)
 	out := make(map[string]map[string]summarize.Result)
 	fmt.Fprintf(opt.Out, "=== Fig 5(b): running time (scale=%.2f) ===\n", opt.Scale)
 	fmt.Fprintf(opt.Out, "%-4s", "data")
@@ -151,7 +153,7 @@ func Fig1b(opt Options) []ScalePoint {
 	for _, f := range fracs {
 		g := graph.NodeSample(full, f, opt.Seed+7)
 		start := time.Now()
-		core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+		core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Workers: opt.Workers})
 		el := time.Since(start)
 		pts = append(pts, ScalePoint{Edges: g.NumEdges(), Elapsed: el})
 		perEdge := 0.0
@@ -187,7 +189,7 @@ func Table3(opt Options, names []string) map[string][]float64 {
 		fmt.Fprintf(opt.Out, "%-4s", name)
 		var row []float64
 		for _, t := range ts {
-			s, _ := core.Summarize(g, core.Config{T: t, Seed: opt.Seed})
+			s, _ := core.Summarize(g, core.Config{T: t, Seed: opt.Seed, Workers: opt.Workers})
 			rel := s.RelativeSize(g.NumEdges())
 			row = append(row, rel)
 			fmt.Fprintf(opt.Out, " %8.3f", rel)
@@ -281,7 +283,7 @@ func Table5(opt Options, names []string) map[string][]Table5Row {
 		g := spec.Generate(opt.Scale, opt.Seed)
 		var rows []Table5Row
 		for _, hb := range hbs {
-			s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Hb: hb})
+			s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Hb: hb, Workers: opt.Workers})
 			rows = append(rows, Table5Row{
 				Hb:           hb,
 				AvgLeafDepth: s.AvgLeafDepth(),
@@ -311,7 +313,7 @@ func Fig6(opt Options) map[string]model.Composition {
 	fmt.Fprintf(opt.Out, "%-4s %10s %10s %10s\n", "data", "p-edges", "n-edges", "h-edges")
 	for _, spec := range datasets.All() {
 		g := spec.Generate(opt.Scale, opt.Seed)
-		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Workers: opt.Workers})
 		c := s.Composition()
 		out[spec.Name] = c
 		fmt.Fprintf(opt.Out, "%-4s %10.3f %10.3f %10.3f\n", spec.Name, c.PShare, c.NShare, c.HShare)
@@ -344,7 +346,7 @@ func Decompression(opt Options, names []string) []DecompResult {
 			continue
 		}
 		g := spec.Generate(opt.Scale, opt.Seed)
-		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+		s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Workers: opt.Workers})
 		n := int32(s.N)
 		queries := n
 		if queries > 20000 {
@@ -379,7 +381,7 @@ func AlgorithmsOnSummary(opt Options, dataset string) []AlgoResult {
 		spec, _ = datasets.ByName("FA")
 	}
 	g := spec.Generate(opt.Scale, opt.Seed)
-	s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+	s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Workers: opt.Workers})
 	raw, osum := algos.Raw(g), algos.OnSummary(s)
 
 	var out []AlgoResult
@@ -441,7 +443,7 @@ type Theorem1Result struct {
 func Theorem1(opt Options, n, k int) Theorem1Result {
 	opt = opt.withDefaults()
 	g := graph.Theorem1Graph(n, k)
-	s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed})
+	s, _ := core.Summarize(g, core.Config{T: opt.T, Seed: opt.Seed, Workers: opt.Workers})
 	// Best natural flat partition: one supernode per non-edge group.
 	group := 2*k + 1
 	assign := make([]int32, g.NumNodes())

@@ -4,7 +4,10 @@
 // Sect. 3; SAGS LSH bucketing).
 package minhash
 
-import "math/rand"
+import (
+	"math/rand"
+	"slices"
+)
 
 // Hash64 mixes a 64-bit value with a seed using the SplitMix64
 // finalizer. It behaves as a random permutation fingerprint: for a
@@ -87,8 +90,17 @@ func Group(items []int32, maxGroup, maxLevels int, key func(item int32, level in
 			split(group, maxLevels)
 			return
 		}
-		for _, b := range buckets {
-			split(b, level+1)
+		// Recurse in sorted key order: map iteration order is random,
+		// and callers (the parallel group pipeline) rely on the output
+		// group order — and hence per-group RNG streams — being
+		// deterministic for a fixed seed.
+		keys := make([]uint64, 0, len(buckets))
+		for k := range buckets {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			split(buckets[k], level+1)
 		}
 	}
 	split(items, 0)
