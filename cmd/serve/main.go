@@ -1,0 +1,81 @@
+// Command serve loads a SLUGGER summary (or summarizes an edge list on
+// startup) and answers graph queries over HTTP, running directly on the
+// compressed model via partial decompression — the serving scenario of
+// Sect. VIII of the paper.
+//
+// Usage:
+//
+//	serve -summary out.slgr [-addr :8080]
+//	serve -in graph.txt [-t 20] [-workers 4] [-addr :8080]
+//
+// Endpoints:
+//
+//	GET /healthz
+//	GET /stats
+//	GET /neighbors?v=3          (or v=3,7,9 for a batch)
+//	GET /hasedge?u=1&v=2
+//	GET /pagerank?d=0.85&t=20&top=10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	var (
+		summary = flag.String("summary", "", "saved summary file to serve (from slugger -save)")
+		in      = flag.String("in", "", "edge-list file to summarize and serve")
+		t       = flag.Int("t", 20, "merging iterations T when summarizing -in")
+		seed    = flag.Int64("seed", 0, "random seed when summarizing -in")
+		workers = flag.Int("workers", 1, "group-scheduler worker pool size when summarizing -in")
+		addr    = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	var sum *model.Summary
+	switch {
+	case *summary != "":
+		s, err := model.Load(*summary)
+		if err != nil {
+			log.Fatalf("loading summary: %v", err)
+		}
+		sum = s
+	case *in != "":
+		g, err := graph.LoadEdgeList(*in)
+		if err != nil {
+			log.Fatalf("loading %s: %v", *in, err)
+		}
+		fmt.Printf("input: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+		start := time.Now()
+		s, _ := core.Summarize(g, core.Config{T: *t, Seed: *seed, Workers: *workers})
+		fmt.Printf("summarized in %s: cost %d (%.1f%% of input)\n",
+			time.Since(start).Round(time.Millisecond), s.Cost(),
+			100*s.RelativeSize(g.NumEdges()))
+		sum = s
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	cs := sum.Compile()
+	fmt.Printf("compiled %d vertices / %d supernodes / %d superedges in %s\n",
+		cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("listening on %s\n", *addr)
+	if err := serve.New(cs).ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -7,7 +7,9 @@
 //
 // The input format is one "u v" pair per line ('#'/'%' comments
 // allowed). With -validate the summary is decoded and compared
-// edge-for-edge against the input (slow on large graphs).
+// edge-for-edge against the input (slow on large graphs). With
+// -serve :8080 the process stays up after summarizing (or -load) and
+// answers neighbor/hasedge/pagerank queries over HTTP.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -33,10 +36,11 @@ func main() {
 		seed     = flag.Int64("seed", 0, "random seed")
 		validate = flag.Bool("validate", false, "decode the summary and verify losslessness")
 		verbose  = flag.Bool("v", false, "print per-iteration progress")
-		workers  = flag.Int("workers", 1, "concurrent partner evaluations (1 = serial; any value gives identical output)")
+		workers  = flag.Int("workers", 1, "group-scheduler worker pool size for the merge phase (1 = serial; any value gives byte-identical output)")
 		save     = flag.String("save", "", "write the summary to this file (binary)")
 		load     = flag.String("load", "", "load a saved summary and report its statistics")
 		decodeTo = flag.String("decode", "", "decode the summary back to an edge-list file")
+		serveOn  = flag.String("serve", "", "after summarizing or loading, serve queries over HTTP on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	if *load != "" {
@@ -54,6 +58,7 @@ func main() {
 			}
 			fmt.Printf("decoded graph written to %s\n", *decodeTo)
 		}
+		serveQueries(*serveOn, sum)
 		return
 	}
 	if *in == "" {
@@ -103,5 +108,20 @@ func main() {
 			log.Fatalf("decoding: %v", err)
 		}
 		fmt.Printf("decoded graph written to %s\n", *decodeTo)
+	}
+	serveQueries(*serveOn, sum)
+}
+
+// serveQueries compiles the summary and serves HTTP queries on addr,
+// blocking until the listener fails. No-op when addr is empty.
+func serveQueries(addr string, sum *model.Summary) {
+	if addr == "" {
+		return
+	}
+	cs := sum.Compile()
+	fmt.Printf("serving queries on %s (%d vertices, %d supernodes)\n",
+		addr, cs.NumNodes(), cs.NumSupernodes())
+	if err := serve.New(cs).ListenAndServe(addr); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -32,8 +32,14 @@ func main() {
 	fmt.Printf("summary cost: %d (%.1f%% of input)\n\n",
 		summary.Cost(), 100*summary.RelativeSize(g.NumEdges()))
 
+	// Compile the summary into its read-optimized serving form once;
+	// traversals then borrow pooled query contexts and decompress with
+	// zero allocations per Neighbors call.
+	compiled := summary.Compile()
+
 	raw := algos.Raw(g)
-	onSummary := algos.OnSummary(summary)
+	onSummary := algos.OnCompiled(compiled)
+	defer onSummary.Release()
 
 	// PageRank on the summary, compared against the raw graph.
 	start := time.Now()
@@ -71,6 +77,16 @@ func main() {
 	fmt.Printf("BFS from node 0 reaches %d nodes; eccentricity %d\n", len(reach), maxD)
 
 	// Triangle counts agree exactly.
-	fmt.Printf("triangles: summary says %d, raw graph says %d\n",
+	fmt.Printf("triangles: summary says %d, raw graph says %d\n\n",
 		algos.CountTriangles(onSummary), algos.CountTriangles(raw))
+
+	// Point queries and batches run concurrently against one compiled
+	// summary: every goroutine borrows its own pooled context.
+	fmt.Printf("point queries: HasEdge(0,1)=%v HasEdge(0,%d)=%v\n",
+		compiled.HasEdge(0, 1), g.NumNodes()-1, compiled.HasEdge(0, int32(g.NumNodes()-1)))
+	batch := []int32{0, 1, 2, 3}
+	fmt.Println("batched neighborhoods (one pooled context for the whole batch):")
+	compiled.NeighborsBatch(batch, func(v int32, nbrs []int32) {
+		fmt.Printf("  node %d: %d neighbors\n", v, len(nbrs))
+	})
 }

@@ -31,6 +31,9 @@ func main() {
 	gr := flatgreedy.NewIncremental(g.NumNodes())
 	cfg := mosso.Config{Escape: 0.3, Trials: 40}
 	checkpoint := len(edges) / 4
+	if checkpoint == 0 {
+		checkpoint = 1
+	}
 
 	for i, e := range edges {
 		gr.AddEdge(e[0], e[1])

@@ -10,9 +10,43 @@ func Raw(g *graph.Graph) NeighborSource {
 	return FromFuncs(g.NumNodes(), g.Neighbors)
 }
 
-// OnSummary adapts a hierarchical summary: every Neighbors call
-// partially decompresses the model around the queried vertex
-// (Algorithm 4), so algorithms run without materializing the graph.
+// CompiledSource adapts a compiled summary, reusing one query context
+// for the whole traversal so every Neighbors call is allocation-free at
+// steady state. Like any NeighborSource, it is single-goroutine;
+// concurrent traversals each take their own source via OnCompiled.
+type CompiledSource struct {
+	cs  *model.CompiledSummary
+	ctx *model.QueryCtx
+}
+
+func (c *CompiledSource) NumNodes() int { return c.cs.NumNodes() }
+
+// Neighbors returns the neighbors of v; the result is valid until the
+// next call.
+func (c *CompiledSource) Neighbors(v int32) []int32 { return c.ctx.NeighborsOf(v) }
+
+// Release returns the source's query context to the summary's pool.
+// Call it when the traversal is done; the source must not be used
+// afterwards. Long-lived callers that skip Release only forfeit
+// context reuse, not correctness.
+func (c *CompiledSource) Release() {
+	if c.ctx != nil {
+		c.cs.ReleaseCtx(c.ctx)
+		c.ctx = nil
+	}
+}
+
+// OnCompiled adapts a compiled summary: every Neighbors call partially
+// decompresses the model around the queried vertex (Algorithm 4)
+// through a pooled query context held until Release.
+func OnCompiled(cs *model.CompiledSummary) *CompiledSource {
+	return &CompiledSource{cs: cs, ctx: cs.AcquireCtx()}
+}
+
+// OnSummary adapts a hierarchical summary: the summary is compiled into
+// its read-optimized form once, and algorithms then run on it without
+// materializing the graph. For repeated traversals over one summary,
+// compile once yourself and use OnCompiled per traversal.
 func OnSummary(s *model.Summary) NeighborSource {
-	return FromFuncs(s.N, s.NeighborsOf)
+	return OnCompiled(s.Compile())
 }

@@ -15,7 +15,10 @@ import (
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	b := NewBuilder(0)
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Real-world edge lists occasionally carry megabyte-long comment or
+	// metadata lines; start with a modest buffer but allow lines up to
+	// 1 GiB rather than failing with bufio.ErrTooLong at 1 MiB.
+	sc.Buffer(make([]byte, 64<<10), 1<<30)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++

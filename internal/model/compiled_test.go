@@ -1,0 +1,271 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// compiledCases returns named summaries covering the query-path corner
+// cases: nested endpoints, self-loops, n-edges, isolated vertices, and
+// a deeper multi-level forest.
+func compiledCases() map[string]*Summary {
+	// 100 leaves in pairs under 100..149, those in fives under 150..159,
+	// all under the single root 160: a 3-level hierarchy.
+	deepParent := make([]int32, 161)
+	for i := 0; i < 100; i++ {
+		deepParent[i] = int32(100 + i/2)
+	}
+	for i := 100; i < 150; i++ {
+		deepParent[i] = int32(150 + (i-100)/5)
+	}
+	for i := 150; i < 160; i++ {
+		deepParent[i] = 160
+	}
+	deepParent[160] = -1
+	var deepEdges []Edge
+	for i := int32(0); i < 100; i += 3 {
+		deepEdges = append(deepEdges, Edge{A: i, B: (i + 7) % 100, Sign: 1})
+		sign := int8(1)
+		if i%2 == 0 {
+			sign = -1
+		}
+		deepEdges = append(deepEdges, Edge{A: 100 + i/2, B: (i + 13) % 100, Sign: sign})
+		deepEdges = append(deepEdges, Edge{A: 150 + i/10, B: i, Sign: 1})
+	}
+	deepEdges = append(deepEdges, Edge{A: 100, B: 100, Sign: 1}) // self-loop on an internal node
+
+	return map[string]*Summary{
+		"fig2":   fig2LikeSummary(),
+		"nested": New(4, []int32{4, 4, 5, -1, 5, -1}, []Edge{{A: 4, B: 5, Sign: 1}}),
+		"clique": New(5, []int32{5, 5, 5, 5, 5, -1}, []Edge{{A: 5, B: 5, Sign: 1}}),
+		"deep":   New(100, deepParent, deepEdges),
+	}
+}
+
+func int32sEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCompiledMatchesSummary(t *testing.T) {
+	for name, s := range compiledCases() {
+		cs := s.Compile()
+		ctx := cs.AcquireCtx()
+		n := int32(s.N)
+		for v := int32(0); v < n; v++ {
+			want := s.NeighborsOf(v)
+			if got := ctx.NeighborsOf(v); !int32sEqual(got, want) {
+				t.Fatalf("%s: ctx.NeighborsOf(%d) = %v, want %v", name, v, got, want)
+			}
+			if got := cs.NeighborsOf(v); !int32sEqual(got, want) {
+				t.Fatalf("%s: cs.NeighborsOf(%d) = %v, want %v", name, v, got, want)
+			}
+			if got, want := ctx.Degree(v), len(want); got != want {
+				t.Fatalf("%s: Degree(%d) = %d, want %d", name, v, got, want)
+			}
+		}
+		for u := int32(0); u < n; u++ {
+			for v := int32(0); v < n; v++ {
+				if got, want := ctx.HasEdge(u, v), s.HasEdge(u, v); got != want {
+					t.Fatalf("%s: HasEdge(%d,%d) = %v, want %v", name, u, v, got, want)
+				}
+			}
+		}
+		cs.ReleaseCtx(ctx)
+		if !graph.Equal(cs.Decode(), s.Decode()) {
+			t.Fatalf("%s: compiled Decode differs from summary Decode", name)
+		}
+	}
+}
+
+func TestCompiledNeighborsBatch(t *testing.T) {
+	s := fig2LikeSummary()
+	cs := s.Compile()
+	vs := []int32{0, 2, 5, 4, 6, 0}
+	i := 0
+	cs.NeighborsBatch(vs, func(v int32, nbrs []int32) {
+		if v != vs[i] {
+			t.Fatalf("batch visited %d at position %d, want %d", v, i, vs[i])
+		}
+		if want := s.NeighborsOf(v); !int32sEqual(nbrs, want) {
+			t.Fatalf("batch NeighborsOf(%d) = %v, want %v", v, nbrs, want)
+		}
+		i++
+	})
+	if i != len(vs) {
+		t.Fatalf("batch visited %d vertices, want %d", i, len(vs))
+	}
+}
+
+// TestCompiledConcurrentReaders hammers one compiled summary from many
+// goroutines through every public entry point; run under -race it
+// asserts the "N concurrent readers, zero locks in the hot path" claim.
+func TestCompiledConcurrentReaders(t *testing.T) {
+	s := compiledCases()["deep"]
+	cs := s.Compile()
+	n := int32(s.N)
+	want := make([][]int32, n)
+	for v := int32(0); v < n; v++ {
+		want[v] = s.NeighborsOf(v)
+	}
+	const goroutines = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for gid := 0; gid < goroutines; gid++ {
+		wg.Add(1)
+		go func(gid int) {
+			defer wg.Done()
+			ctx := cs.AcquireCtx()
+			defer cs.ReleaseCtx(ctx)
+			for i := 0; i < iters; i++ {
+				v := int32((gid*31 + i*17) % int(n))
+				u := int32((gid*13 + i*7) % int(n))
+				if got := ctx.NeighborsOf(v); !int32sEqual(got, want[v]) {
+					errs <- fmt.Errorf("concurrent NeighborsOf(%d) mismatch", v)
+					return
+				}
+				inNbrs := false
+				for _, w := range want[u] {
+					if w == v {
+						inNbrs = true
+					}
+				}
+				if u != v && ctx.HasEdge(u, v) != inNbrs {
+					errs <- fmt.Errorf("concurrent HasEdge(%d,%d) mismatch", u, v)
+					return
+				}
+				// Pool-backed convenience forms race the pool as well.
+				if got := cs.NeighborsOf(v); !int32sEqual(got, want[v]) {
+					errs <- fmt.Errorf("concurrent pooled NeighborsOf(%d) mismatch", v)
+					return
+				}
+			}
+		}(gid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCompiledQueryAllocationFree mirrors the construction-side
+// TestSweepAllocationFree: a warmed query context must answer
+// NeighborsOf and HasEdge without heap allocation.
+func TestCompiledQueryAllocationFree(t *testing.T) {
+	s := compiledCases()["deep"]
+	cs := s.Compile()
+	ctx := cs.AcquireCtx()
+	defer cs.ReleaseCtx(ctx)
+	n := int32(s.N)
+	// Warm the context buffers (touched/out grow to their steady size).
+	for v := int32(0); v < n; v++ {
+		ctx.NeighborsOf(v)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		ctx.NeighborsOf(3)
+		ctx.NeighborsOf(97)
+	}); avg != 0 {
+		t.Fatalf("warmed ctx.NeighborsOf allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		ctx.HasEdge(3, 10)
+		ctx.HasEdge(40, 41)
+	}); avg != 0 {
+		t.Fatalf("warmed ctx.HasEdge allocates %.1f/op, want 0", avg)
+	}
+	if !raceEnabled {
+		// sync.Pool drops items at random under -race, so the pooled
+		// path is only allocation-free in normal builds.
+		if avg := testing.AllocsPerRun(200, func() {
+			cs.HasEdge(3, 10)
+		}); avg != 0 {
+			t.Fatalf("pooled cs.HasEdge allocates %.1f/op, want 0", avg)
+		}
+	}
+}
+
+// TestQueryCtxEpochWrap forces the int32 epoch counters through their
+// wraparound and checks answers stay correct (stale stamps from before
+// the wrap must not read as current).
+func TestQueryCtxEpochWrap(t *testing.T) {
+	s := fig2LikeSummary()
+	cs := s.Compile()
+	ctx := cs.AcquireCtx()
+	defer cs.ReleaseCtx(ctx)
+	want0 := s.NeighborsOf(0)
+	if got := ctx.NeighborsOf(0); !int32sEqual(got, want0) {
+		t.Fatalf("pre-wrap NeighborsOf(0) = %v, want %v", got, want0)
+	}
+	ctx.ancEpoch = math.MaxInt32 - 1
+	ctx.edgeEpoch = math.MaxInt32 - 1
+	ctx.cntEpoch = math.MaxInt32 - 1
+	for i := 0; i < 5; i++ {
+		if got := ctx.NeighborsOf(0); !int32sEqual(got, want0) {
+			t.Fatalf("wrap step %d: NeighborsOf(0) = %v, want %v", i, got, want0)
+		}
+		if got, want := ctx.HasEdge(2, 5), s.HasEdge(2, 5); got != want {
+			t.Fatalf("wrap step %d: HasEdge(2,5) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func BenchmarkCompiledNeighborsOf(b *testing.B) {
+	s := compiledCases()["deep"]
+	cs := s.Compile()
+	ctx := cs.AcquireCtx()
+	defer cs.ReleaseCtx(ctx)
+	n := int32(s.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.NeighborsOf(int32(i) % n)
+	}
+}
+
+func BenchmarkCompiledHasEdge(b *testing.B) {
+	g := graph.Caveman(10, 10, 5, 3)
+	parent := make([]int32, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	var edges []Edge
+	g.ForEachEdge(func(u, v int32) { edges = append(edges, Edge{A: u, B: v, Sign: 1}) })
+	cs := New(g.NumNodes(), parent, edges).Compile()
+	ctx := cs.AcquireCtx()
+	defer cs.ReleaseCtx(ctx)
+	n := int32(g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.HasEdge(int32(i)%n, int32(i*7)%n)
+	}
+}
+
+// BenchmarkCompiledNeighborsParallel measures concurrent query
+// throughput through the context pool (RunParallel scales GOMAXPROCS
+// goroutines, each borrowing pooled contexts).
+func BenchmarkCompiledNeighborsParallel(b *testing.B) {
+	s := compiledCases()["deep"]
+	cs := s.Compile()
+	n := int32(s.N)
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := cs.AcquireCtx()
+		defer cs.ReleaseCtx(ctx)
+		v := int32(0)
+		for pb.Next() {
+			ctx.NeighborsOf(v % n)
+			v++
+		}
+	})
+}

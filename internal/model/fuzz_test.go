@@ -1,0 +1,59 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrom feeds arbitrary bytes through the deserializer: corrupt
+// input must produce an error (never a panic or a silently wrong
+// summary), and any input that decodes must survive a write/read round
+// trip unchanged.
+func FuzzReadFrom(f *testing.F) {
+	seed := func(s *Summary) []byte {
+		var buf bytes.Buffer
+		s.WriteTo(&buf)
+		return buf.Bytes()
+	}
+	f.Add(seed(fig2LikeSummary()))
+	f.Add(seed(New(2, []int32{-1, -1}, nil)))
+	f.Add(seed(New(5, []int32{5, 5, 5, 5, 5, -1}, []Edge{{A: 5, B: 5, Sign: 1}})))
+	f.Add([]byte("SLGR\x01"))
+	f.Add([]byte("SLGR\x01\x02\x03\x03\x00\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatalf("re-serializing a decoded summary: %v", err)
+		}
+		s2, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatalf("re-reading a re-serialized summary: %v", err)
+		}
+		if s2.N != s.N || s2.NumSupernodes() != s.NumSupernodes() ||
+			s2.PCount() != s.PCount() || s2.NCount() != s.NCount() || s2.HCount() != s.HCount() {
+			t.Fatalf("round trip changed shape: N %d/%d cost %d/%d",
+				s.N, s2.N, s.Cost(), s2.Cost())
+		}
+		// The compiled query layer must agree with the uncompiled path
+		// on whatever forest the fuzzer produced.
+		cs := s.Compile()
+		for v := int32(0); v < int32(s.N) && v < 16; v++ {
+			want := s.NeighborsOf(v)
+			got := cs.NeighborsOf(v)
+			if len(got) != len(want) {
+				t.Fatalf("compiled NeighborsOf(%d) = %v, want %v", v, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("compiled NeighborsOf(%d) = %v, want %v", v, got, want)
+				}
+			}
+		}
+	})
+}

@@ -54,6 +54,13 @@ func New(n int, parent []int32, edges []Edge) *Summary {
 			if int(p) >= total {
 				panic(fmt.Sprintf("model: parent %d out of range", p))
 			}
+			// Parents must be internal supernodes: a leaf parent would
+			// be invisible to computeVerts (leaves are pre-marked done),
+			// letting parent cycles through a leaf slip past cycle
+			// detection and hang every ancestor-chain walk.
+			if int(p) < n {
+				panic(fmt.Sprintf("model: parent of %d is leaf supernode %d", c, p))
+			}
 			s.children[p] = append(s.children[p], int32(c))
 			s.hCount++
 		}

@@ -80,8 +80,19 @@ func (s *Summary) WriteTo(w io.Writer) (int64, error) {
 	return count, nil
 }
 
-// ReadFrom deserializes a summary written by WriteTo.
-func ReadFrom(r io.Reader) (*Summary, error) {
+// ReadFrom deserializes a summary written by WriteTo. Corrupt input
+// yields an error, never a silently wrong summary: sizes, parent ids,
+// edge endpoints and sign bytes are validated, and structurally invalid
+// forests (cycles, childless internal supernodes) are rejected.
+func ReadFrom(r io.Reader) (s *Summary, err error) {
+	// New panics on structurally malformed forests the field-level
+	// checks below can't see (e.g. parent cycles); surface those as
+	// decode errors rather than crashing on corrupt files.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s, err = nil, fmt.Errorf("model: invalid summary structure: %v", rec)
+		}
+	}()
 	br := bufio.NewReader(r)
 	head := make([]byte, len(magic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
@@ -103,26 +114,34 @@ func ReadFrom(r io.Reader) (*Summary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("model: reading supernode count: %w", err)
 	}
-	if total > 1<<31 || n64 > total {
+	// Supernode ids must fit in int32, so total == 1<<31 is already too
+	// large: a stored parent value of exactly total would pass a naive
+	// `p > total` check and overflow int32(p)-1 to a negative id,
+	// silently corrupting the forest.
+	if total >= 1<<31 || n64 > total {
 		return nil, fmt.Errorf("model: implausible sizes n=%d total=%d", n64, total)
 	}
-	parent := make([]int32, total)
-	for i := range parent {
+	// Grow incrementally rather than trusting the declared count: a
+	// corrupt length prefix must not provoke a giant allocation.
+	parent := make([]int32, 0, min(total, 1<<20))
+	for i := uint64(0); i < total; i++ {
 		p, err := readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("model: reading parent %d: %w", i, err)
 		}
+		// Stored values are parent+1, so the valid range is [0, total]
+		// (0 encodes a root).
 		if p > total {
-			return nil, fmt.Errorf("model: parent %d out of range", p)
+			return nil, fmt.Errorf("model: parent entry %d = %d out of range [0,%d]", i, p, total)
 		}
-		parent[i] = int32(p) - 1
+		parent = append(parent, int32(p)-1)
 	}
 	numEdges, err := readUvarint()
 	if err != nil {
 		return nil, fmt.Errorf("model: reading edge count: %w", err)
 	}
-	edges := make([]Edge, numEdges)
-	for i := range edges {
+	edges := make([]Edge, 0, min(numEdges, 1<<20))
+	for i := uint64(0); i < numEdges; i++ {
 		a, err := readUvarint()
 		if err != nil {
 			return nil, fmt.Errorf("model: reading edge %d: %w", i, err)
@@ -135,14 +154,21 @@ func ReadFrom(r io.Reader) (*Summary, error) {
 		if err != nil {
 			return nil, fmt.Errorf("model: reading edge %d sign: %w", i, err)
 		}
-		e := Edge{A: int32(a), B: int32(b), Sign: -1}
-		if sign == 1 {
+		e := Edge{A: int32(a), B: int32(b)}
+		// WriteTo emits exactly 0 (n-edge) or 1 (p-edge); anything else
+		// is corruption, not a sign to guess at.
+		switch sign {
+		case 0:
+			e.Sign = -1
+		case 1:
 			e.Sign = 1
+		default:
+			return nil, fmt.Errorf("model: edge %d has invalid sign byte %d", i, sign)
 		}
-		if uint64(e.A) >= total || uint64(e.B) >= total {
+		if a >= total || b >= total {
 			return nil, fmt.Errorf("model: edge %d endpoint out of range", i)
 		}
-		edges[i] = e
+		edges = append(edges, e)
 	}
 	return New(int(n64), parent, edges), nil
 }

@@ -2,6 +2,7 @@ package model
 
 import (
 	"bytes"
+	"encoding/binary"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -84,6 +85,51 @@ func TestReadFromRejectsCorruptInput(t *testing.T) {
 	data[len(data)-2] = 0x7f
 	if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
 		t.Fatal("expected out-of-range endpoint error")
+	}
+}
+
+func TestReadFromRejectsInvalidSignByte(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(2, []int32{-1, -1}, []Edge{{A: 0, B: 1, Sign: 1}})
+	s.WriteTo(&buf)
+	data := buf.Bytes()
+	// The sign byte is the last byte of the stream; WriteTo only ever
+	// emits 0 or 1, so anything else is corruption and must not be
+	// silently decoded as an n-edge.
+	data[len(data)-1] = 7
+	if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected invalid sign byte error")
+	}
+}
+
+func TestReadFromRejectsInt32Overflow(t *testing.T) {
+	// total = 1<<31 does not fit the int32 id space: a parent value of
+	// exactly total would overflow int32(p)-1 to a negative id. The
+	// size check must reject it outright.
+	var buf bytes.Buffer
+	buf.WriteString("SLGR\x01")
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], 0)
+	buf.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], 1<<31)
+	buf.Write(tmp[:n])
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected implausible-size error for total = 1<<31")
+	}
+}
+
+func TestReadFromRejectsParentCycle(t *testing.T) {
+	// A structurally invalid forest (internal nodes 1 and 2 parenting
+	// each other) must surface as an error, not a panic.
+	var buf bytes.Buffer
+	buf.WriteString("SLGR\x01")
+	var tmp [binary.MaxVarintLen64]byte
+	for _, x := range []uint64{1, 3, 2, 3, 2, 0} { // n=1 total=3 parents={1,2,1} edges=0
+		n := binary.PutUvarint(tmp[:], x)
+		buf.Write(tmp[:n])
+	}
+	if _, err := ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected structure error for a parent cycle")
 	}
 }
 

@@ -1,0 +1,262 @@
+// Package serve exposes a compiled SLUGGER summary over HTTP: the
+// serving scenario of the ROADMAP north star. Queries (neighbors,
+// edge-existence, PageRank) run directly on the summary via partial
+// decompression (Algorithm 4 of the paper) — the full graph is never
+// materialized — and every request borrows a pooled query context, so
+// arbitrarily many requests are answered concurrently without
+// per-request allocation in the decompression core.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/algos"
+	"repro/internal/model"
+)
+
+// Server answers graph queries against one compiled summary.
+type Server struct {
+	cs *model.CompiledSummary
+
+	mu      sync.Mutex
+	prCache map[prKey][]float64
+}
+
+type prKey struct {
+	d float64
+	t int
+}
+
+// New wraps a compiled summary in a query server.
+func New(cs *model.CompiledSummary) *Server {
+	return &Server{cs: cs, prCache: make(map[prKey][]float64)}
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET /healthz                     liveness probe
+//	GET /stats                       model sizes
+//	GET /neighbors?v=3               sorted neighbors of one vertex
+//	GET /neighbors?v=3,7,9           batched: one pooled context for all
+//	GET /hasedge?u=1&v=2             edge-existence point query
+//	GET /pagerank?d=0.85&t=20&top=10 top-k PageRank on the summary
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /neighbors", s.handleNeighbors)
+	mux.HandleFunc("GET /hasedge", s.handleHasEdge)
+	mux.HandleFunc("GET /pagerank", s.handlePageRank)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseVertex parses one vertex id and range-checks it against the
+// model — the single validation point for every id-taking endpoint.
+func (s *Server) parseVertex(raw string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("vertex id %q: %v", raw, err)
+	}
+	if v < 0 || v >= int64(s.cs.NumNodes()) {
+		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.cs.NumNodes())
+	}
+	return int32(v), nil
+}
+
+// vertexParam fetches and parses a required single-vertex parameter.
+func (s *Server) vertexParam(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing parameter %q", name)
+	}
+	v, err := s.parseVertex(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]int{
+		"nodes":      s.cs.NumNodes(),
+		"supernodes": s.cs.NumSupernodes(),
+		"superedges": s.cs.NumSuperedges(),
+	})
+}
+
+// NeighborsResult is one entry of the /neighbors response.
+type NeighborsResult struct {
+	V         int32   `json:"v"`
+	Degree    int     `json:"degree"`
+	Neighbors []int32 `json:"neighbors"`
+}
+
+func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("v")
+	if raw == "" {
+		httpError(w, http.StatusBadRequest, "missing parameter %q", "v")
+		return
+	}
+	parts := strings.Split(raw, ",")
+	vs := make([]int32, 0, len(parts))
+	for _, p := range parts {
+		v, err := s.parseVertex(p)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "parameter \"v\": %v", err)
+			return
+		}
+		vs = append(vs, v)
+	}
+	results := make([]NeighborsResult, 0, len(vs))
+	s.cs.NeighborsBatch(vs, func(v int32, nbrs []int32) {
+		results = append(results, NeighborsResult{
+			V:         v,
+			Degree:    len(nbrs),
+			Neighbors: append([]int32{}, nbrs...),
+		})
+	})
+	if len(results) == 1 {
+		writeJSON(w, http.StatusOK, results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+func (s *Server) handleHasEdge(w http.ResponseWriter, r *http.Request) {
+	u, err := s.vertexParam(r, "u")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v, err := s.vertexParam(r, "v")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": s.cs.HasEdge(u, v)})
+}
+
+// RankedVertex is one entry of the /pagerank response.
+type RankedVertex struct {
+	V    int32   `json:"v"`
+	Rank float64 `json:"rank"`
+}
+
+// maxPRCacheEntries bounds the PageRank cache: (d, t) are client-chosen
+// keys, so without a cap a client sweeping damping values could pin an
+// unbounded number of n-length rank vectors.
+const maxPRCacheEntries = 32
+
+// pageRank returns the cached PageRank vector for (d, t). The power
+// iteration runs outside the lock, so a cache miss never blocks hits on
+// other keys; concurrent first requests for one key may compute it more
+// than once, which is benign (identical results, bounded work).
+func (s *Server) pageRank(d float64, t int) []float64 {
+	key := prKey{d: d, t: t}
+	s.mu.Lock()
+	if r, ok := s.prCache[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	src := algos.OnCompiled(s.cs)
+	r := algos.PageRank(src, d, t)
+	src.Release()
+	s.mu.Lock()
+	if len(s.prCache) >= maxPRCacheEntries {
+		// Evict an arbitrary entry; the common workload reuses one or
+		// two (d, t) pairs and never reaches the cap.
+		for k := range s.prCache {
+			delete(s.prCache, k)
+			break
+		}
+	}
+	s.prCache[key] = r
+	s.mu.Unlock()
+	return r
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	d := 0.85
+	if raw := q.Get("d"); raw != "" {
+		parsed, err := strconv.ParseFloat(raw, 64)
+		// The inverted comparison also rejects NaN, which would
+		// otherwise slip through (<=, >= are both false for NaN) and
+		// poison the cache with a key that never matches itself.
+		if err != nil || !(parsed > 0 && parsed < 1) {
+			httpError(w, http.StatusBadRequest, "parameter \"d\" must be in (0,1)")
+			return
+		}
+		d = parsed
+	}
+	t := 20
+	if raw := q.Get("t"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 || parsed > 1000 {
+			httpError(w, http.StatusBadRequest, "parameter \"t\" must be in [1,1000]")
+			return
+		}
+		t = parsed
+	}
+	top := 10
+	if raw := q.Get("top"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "parameter \"top\" must be positive")
+			return
+		}
+		top = parsed
+	}
+	rank := s.pageRank(d, t)
+	ranked := make([]RankedVertex, len(rank))
+	for v, rr := range rank {
+		ranked[v] = RankedVertex{V: int32(v), Rank: rr}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].Rank != ranked[j].Rank {
+			return ranked[i].Rank > ranked[j].Rank
+		}
+		return ranked[i].V < ranked[j].V
+	})
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"damping": d, "iterations": t, "top": ranked[:top],
+	})
+}
+
+// ListenAndServe serves the handler on addr until the listener fails.
+// Header/idle timeouts guard against slow-client connection exhaustion
+// (Go's http.Server defaults to none).
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return srv.ListenAndServe()
+}

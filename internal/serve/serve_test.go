@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// testServer serves the Fig. 2-like summary of the model package:
+// vertices 0..6, supernodes 7={2,3}, 8={0,1,7}, with neighbors
+// 0: {1,2,3,5}, 4: {2,3}, 6: {5}.
+func testServer() *Server {
+	parent := []int32{8, 8, 7, 7, -1, -1, -1, 8, -1}
+	edges := []model.Edge{
+		{A: 8, B: 8, Sign: 1},
+		{A: 8, B: 5, Sign: 1},
+		{A: 5, B: 7, Sign: -1},
+		{A: 4, B: 7, Sign: 1},
+		{A: 5, B: 6, Sign: 1},
+	}
+	return New(model.New(7, parent, edges).Compile())
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding body: %v", path, err)
+		}
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	var health map[string]string
+	get(t, ts, "/healthz", http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	var stats map[string]int
+	get(t, ts, "/stats", http.StatusOK, &stats)
+	if stats["nodes"] != 7 || stats["supernodes"] != 9 || stats["superedges"] != 5 {
+		t.Fatalf("stats = %v", stats)
+	}
+
+	var nbrs NeighborsResult
+	get(t, ts, "/neighbors?v=0", http.StatusOK, &nbrs)
+	if nbrs.V != 0 || nbrs.Degree != 4 || fmt.Sprint(nbrs.Neighbors) != "[1 2 3 5]" {
+		t.Fatalf("neighbors(0) = %+v", nbrs)
+	}
+
+	var batch []NeighborsResult
+	get(t, ts, "/neighbors?v=4,6", http.StatusOK, &batch)
+	if len(batch) != 2 || fmt.Sprint(batch[0].Neighbors) != "[2 3]" || fmt.Sprint(batch[1].Neighbors) != "[5]" {
+		t.Fatalf("batch neighbors = %+v", batch)
+	}
+
+	var edge map[string]any
+	get(t, ts, "/hasedge?u=2&v=4", http.StatusOK, &edge)
+	if edge["exists"] != true {
+		t.Fatalf("hasedge(2,4) = %v", edge)
+	}
+	get(t, ts, "/hasedge?u=2&v=5", http.StatusOK, &edge)
+	if edge["exists"] != false {
+		t.Fatalf("hasedge(2,5) = %v", edge)
+	}
+
+	var pr struct {
+		Damping    float64        `json:"damping"`
+		Iterations int            `json:"iterations"`
+		Top        []RankedVertex `json:"top"`
+	}
+	get(t, ts, "/pagerank?top=3", http.StatusOK, &pr)
+	if pr.Damping != 0.85 || pr.Iterations != 20 || len(pr.Top) != 3 {
+		t.Fatalf("pagerank = %+v", pr)
+	}
+	if pr.Top[0].Rank < pr.Top[1].Rank || pr.Top[1].Rank < pr.Top[2].Rank {
+		t.Fatalf("pagerank top not sorted: %+v", pr.Top)
+	}
+}
+
+func TestServeRejectsBadInput(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		"/neighbors",
+		"/neighbors?v=notanumber",
+		"/neighbors?v=99",
+		"/neighbors?v=-1",
+		"/neighbors?v=1,99",
+		"/hasedge?u=1",
+		"/hasedge?u=1&v=99",
+		"/pagerank?d=1.5",
+		"/pagerank?d=NaN",
+		"/pagerank?t=0",
+		"/pagerank?top=-2",
+	} {
+		get(t, ts, path, http.StatusBadRequest, nil)
+	}
+}
+
+// TestServeConcurrentRequests exercises the full HTTP path from many
+// clients at once; under -race it checks the pooled query contexts and
+// the PageRank cache against data races.
+func TestServeConcurrentRequests(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				v := (g + i) % 7
+				var nbrs NeighborsResult
+				resp, err := http.Get(fmt.Sprintf("%s/neighbors?v=%d", ts.URL, v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&nbrs)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if int(nbrs.V) != v || len(nbrs.Neighbors) != nbrs.Degree {
+					errs <- fmt.Errorf("inconsistent response for v=%d: %+v", v, nbrs)
+					return
+				}
+				if i%10 == 0 {
+					if resp, err := http.Get(ts.URL + "/pagerank?top=2"); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ package summarize
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -77,15 +78,18 @@ func MeasureAvg(s Summarizer, dataset string, g *graph.Graph, baseSeed int64, tr
 		timeSum += r.Elapsed
 	}
 	m := g.NumEdges()
-	avgCost := costSum / int64(trials)
+	// Derive both Cost and RelativeSize from the same float mean so the
+	// two stay consistent (integer division used to truncate Cost while
+	// RelativeSize reported the untruncated mean).
+	meanCost := float64(costSum) / float64(trials)
 	rel := 0.0
 	if m > 0 {
-		rel = float64(costSum) / float64(trials) / float64(m)
+		rel = meanCost / float64(m)
 	}
 	return Result{
 		Algorithm:    s.Name(),
 		Dataset:      dataset,
-		Cost:         avgCost,
+		Cost:         int64(math.Round(meanCost)),
 		Edges:        m,
 		RelativeSize: rel,
 		Elapsed:      timeSum / time.Duration(trials),

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_1.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_2.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -8,12 +8,14 @@
 # Environment:
 #   BENCHTIME_E2E   go-test benchtime for the end-to-end benchmark (default 3x)
 #   BENCHTIME_MICRO go-test benchtime for the microbenchmarks (default 5000x)
+#   BENCHTIME_QUERY go-test benchtime for the query-path benchmarks (default 20000x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_1.json}
+OUT=${1:-BENCH_2.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
+QUERY=${BENCHTIME_QUERY:-20000x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -25,6 +27,14 @@ echo "== merge inner loop (benchtime=$MICRO) =="
 go test -run '^$' -bench 'BenchmarkSweep$|BenchmarkEvaluateMerge$' -benchmem \
   -benchtime "$MICRO" -timeout 20m ./internal/core | tee "$TMP/micro.txt"
 
+echo "== query path: compiled serving layer (benchtime=$QUERY) =="
+go test -run '^$' -bench 'BenchmarkNeighborQuery$|BenchmarkNeighborQueryCompiled$' -benchmem \
+  -benchtime "$QUERY" -timeout 20m . | tee "$TMP/query.txt"
+go test -run '^$' -bench 'BenchmarkCompiledNeighborsOf$|BenchmarkCompiledHasEdge$|BenchmarkHasEdge$' -benchmem \
+  -benchtime "$QUERY" -timeout 20m ./internal/model | tee -a "$TMP/query.txt"
+go test -run '^$' -bench 'BenchmarkPageRankOnSummary$' -benchmem \
+  -benchtime 50x -timeout 20m . | tee -a "$TMP/query.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -33,7 +43,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -62,12 +72,19 @@ doc = {
     "cpus": nproc,
     "note": ("Parallel wall-clock speedup requires >1 CPU; on single-CPU "
              "recording environments workers>1 measures scheduling overhead "
-             "only (outputs are byte-identical for any worker count)."),
+             "only (outputs are byte-identical for any worker count). "
+             "Query-path benchmarks run on one context; concurrent-reader "
+             "scaling is covered by BenchmarkCompiledNeighborsParallel."),
     "seed_baseline": {
-        "comment": "measured on the seed implementation (pre parallel pipeline / pooling), same machine",
+        "comment": ("construction numbers measured on the seed implementation "
+                    "(pre parallel pipeline / pooling); query numbers measured "
+                    "on the PR-1 tree (pre compiled serving layer), same machine"),
         "BenchmarkSluggerEndToEnd": {"ns_per_op": 1379329781, "bytes_per_op": 1340269424, "allocs_per_op": 2429777},
         "BenchmarkSweep": {"ns_per_op": 1543, "bytes_per_op": 1166, "allocs_per_op": 19},
         "BenchmarkEvaluateMerge": {"ns_per_op": 208.2, "bytes_per_op": 112, "allocs_per_op": 1},
+        "BenchmarkNeighborQuery": {"ns_per_op": 356.7, "bytes_per_op": 179, "allocs_per_op": 5},
+        "BenchmarkHasEdge": {"ns_per_op": 1302, "bytes_per_op": 493, "allocs_per_op": 4},
+        "BenchmarkPageRankOnSummary": {"ns_per_op": 265471, "bytes_per_op": 130672, "allocs_per_op": 3882},
     },
     "benchmarks": benches,
 }
