@@ -5,6 +5,7 @@
 //
 //	experiments -run all [-scale 0.2] [-trials 1] [-t 20] [-seed 0] [-workers 4]
 //	experiments -run fig5a,table3 -datasets PR,FA
+//	experiments -run fig5a -algos slugger,sweg
 //
 // Available experiments: fig5a fig5b fig1b table3 table4 table5 fig6
 // decomp algos theorem1 (or "all").
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/pkg/slug"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base random seed")
 		workers  = flag.Int("workers", 1, "SLUGGER candidate-group pipeline workers (results are identical for any value)")
 		dataList = flag.String("datasets", "", "restrict table experiments to these datasets (comma-separated)")
+		algoList = flag.String("algos", "", "restrict comparison experiments to these pkg/slug algorithms (comma-separated canonical names, e.g. slugger,sweg)")
 	)
 	flag.Parse()
 
@@ -38,6 +41,17 @@ func main() {
 		T:       *t,
 		Workers: *workers,
 		Out:     os.Stdout,
+	}
+	if *algoList != "" {
+		for _, name := range strings.Split(*algoList, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := slug.Lookup(name); !ok {
+				fmt.Fprintf(os.Stderr, "unknown algorithm %q; available: %s\n",
+					name, strings.Join(slug.Algorithms(), " "))
+				os.Exit(2)
+			}
+			opt.Algos = append(opt.Algos, name)
+		}
 	}
 	var names []string
 	if *dataList != "" {

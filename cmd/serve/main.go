@@ -1,14 +1,17 @@
-// Command serve loads a SLUGGER summary (or summarizes an edge list on
-// startup) and answers graph queries over HTTP, running directly on the
-// compressed model via partial decompression — the serving scenario of
-// Sect. VIII of the paper.
+// Command serve loads a saved summary artifact (or summarizes an edge
+// list on startup with any registered algorithm) and answers graph
+// queries over HTTP, running directly on the compressed model via
+// partial decompression — the serving scenario of Sect. VIII of the
+// paper.
 //
 // Usage:
 //
-//	serve -summary out.slgr [-addr :8080]
-//	serve -in graph.txt [-t 20] [-workers 4] [-addr :8080]
+//	serve -summary out.slga [-addr :8080]
+//	serve -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-workers 4] [-addr :8080]
 //
-// Endpoints:
+// Builds route through the unified pkg/slug API, so every algorithm's
+// output can be served and all build knobs (-t, -hb, -seed, -workers)
+// reach the summarizer. Endpoints:
 //
 //	GET /healthz
 //	GET /stats
@@ -18,16 +21,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/pkg/slug"
 )
 
 func main() {
@@ -35,47 +40,65 @@ func main() {
 	log.SetPrefix("serve: ")
 
 	var (
-		summary = flag.String("summary", "", "saved summary file to serve (from slugger -save)")
+		summary = flag.String("summary", "", "saved artifact file to serve (from slugger -save)")
 		in      = flag.String("in", "", "edge-list file to summarize and serve")
-		t       = flag.Int("t", 20, "merging iterations T when summarizing -in")
+		algo    = flag.String("algo", "slugger", "summarization algorithm when summarizing -in: "+strings.Join(slug.Algorithms(), ", "))
+		t       = flag.Int("t", 20, "merging iterations T when summarizing -in (slugger, sweg)")
+		hb      = flag.Int("hb", 0, "height bound Hb when summarizing -in, 0 = unbounded (slugger)")
 		seed    = flag.Int64("seed", 0, "random seed when summarizing -in")
 		workers = flag.Int("workers", 1, "group-scheduler worker pool size when summarizing -in")
 		addr    = flag.String("addr", ":8080", "listen address")
 	)
 	flag.Parse()
 
-	var sum *model.Summary
+	var art slug.Artifact
 	switch {
 	case *summary != "":
-		s, err := model.Load(*summary)
+		a, err := slug.Load(*summary)
 		if err != nil {
-			log.Fatalf("loading summary: %v", err)
+			log.Fatalf("loading artifact: %v", err)
 		}
-		sum = s
+		art = a
 	case *in != "":
 		g, err := graph.LoadEdgeList(*in)
 		if err != nil {
 			log.Fatalf("loading %s: %v", *in, err)
 		}
 		fmt.Printf("input: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+		// Ctrl-C during the build cancels it promptly.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		start := time.Now()
-		s, _ := core.Summarize(g, core.Config{T: *t, Seed: *seed, Workers: *workers})
-		fmt.Printf("summarized in %s: cost %d (%.1f%% of input)\n",
-			time.Since(start).Round(time.Millisecond), s.Cost(),
-			100*s.RelativeSize(g.NumEdges()))
-		sum = s
+		a, err := slug.Get(*algo).Summarize(ctx, g,
+			slug.WithIterations(*t),
+			slug.WithHeightBound(*hb),
+			slug.WithSeed(*seed),
+			slug.WithWorkers(*workers))
+		stop()
+		if err != nil {
+			log.Fatalf("summarizing with %s: %v", *algo, err)
+		}
+		rel := 0.0
+		if g.NumEdges() > 0 {
+			rel = float64(a.Cost()) / float64(g.NumEdges())
+		}
+		fmt.Printf("summarized with %s in %s: cost %d (%.1f%% of input)\n",
+			a.Algorithm(), time.Since(start).Round(time.Millisecond), a.Cost(), 100*rel)
+		art = a
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	start := time.Now()
-	cs := sum.Compile()
+	cs, err := art.Queryable()
+	if err != nil {
+		log.Fatalf("compiling artifact: %v", err)
+	}
 	fmt.Printf("compiled %d vertices / %d supernodes / %d superedges in %s\n",
 		cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
 		time.Since(start).Round(time.Millisecond))
-	fmt.Printf("listening on %s\n", *addr)
-	if err := serve.New(cs).ListenAndServe(*addr); err != nil {
+	fmt.Printf("listening on %s (algorithm %s)\n", *addr, art.Algorithm())
+	if err := serve.New(cs).WithAlgorithm(art.Algorithm()).ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,28 +1,33 @@
-// Command slugger summarizes an edge-list graph with the SLUGGER
-// algorithm and reports the hierarchical summary's statistics.
+// Command slugger summarizes an edge-list graph with any registered
+// algorithm (SLUGGER by default) through the unified pkg/slug API and
+// reports the resulting artifact's statistics.
 //
 // Usage:
 //
-//	slugger -in graph.txt [-t 20] [-hb 0] [-seed 0] [-validate] [-v]
+//	slugger -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-seed 0] [-validate] [-v]
 //
 // The input format is one "u v" pair per line ('#'/'%' comments
-// allowed). With -validate the summary is decoded and compared
+// allowed). -algo selects among slugger, sweg, mosso, randomized and
+// sags. With -validate the artifact is decoded and compared
 // edge-for-edge against the input (slow on large graphs). With
 // -serve :8080 the process stays up after summarizing (or -load) and
-// answers neighbor/hasedge/pagerank queries over HTTP.
+// answers neighbor/hasedge/pagerank queries over HTTP. Interrupting a
+// running build (Ctrl-C) cancels it promptly via context cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/pkg/slug"
 )
 
 func main() {
@@ -31,34 +36,26 @@ func main() {
 
 	var (
 		in       = flag.String("in", "", "input edge-list file (required unless -load)")
-		t        = flag.Int("t", 20, "number of merging iterations T")
-		hb       = flag.Int("hb", 0, "height bound Hb (0 = unbounded)")
+		algo     = flag.String("algo", "slugger", "summarization algorithm: "+strings.Join(slug.Algorithms(), ", "))
+		t        = flag.Int("t", 20, "number of merging iterations T (slugger, sweg)")
+		hb       = flag.Int("hb", 0, "height bound Hb, 0 = unbounded (slugger)")
 		seed     = flag.Int64("seed", 0, "random seed")
-		validate = flag.Bool("validate", false, "decode the summary and verify losslessness")
+		validate = flag.Bool("validate", false, "decode the artifact and verify losslessness")
 		verbose  = flag.Bool("v", false, "print per-iteration progress")
 		workers  = flag.Int("workers", 1, "group-scheduler worker pool size for the merge phase (1 = serial; any value gives byte-identical output)")
-		save     = flag.String("save", "", "write the summary to this file (binary)")
-		load     = flag.String("load", "", "load a saved summary and report its statistics")
-		decodeTo = flag.String("decode", "", "decode the summary back to an edge-list file")
+		save     = flag.String("save", "", "write the artifact to this file (binary, self-describing)")
+		load     = flag.String("load", "", "load a saved artifact and report its statistics")
+		decodeTo = flag.String("decode", "", "decode the artifact back to an edge-list file")
 		serveOn  = flag.String("serve", "", "after summarizing or loading, serve queries over HTTP on this address (e.g. :8080)")
 	)
 	flag.Parse()
 	if *load != "" {
-		sum, err := model.Load(*load)
+		art, err := slug.Load(*load)
 		if err != nil {
-			log.Fatalf("loading summary: %v", err)
+			log.Fatalf("loading artifact: %v", err)
 		}
-		fmt.Printf("summary: %d vertices, %d supernodes, |P+|=%d |P-|=%d |H|=%d, cost=%d\n",
-			sum.N, sum.NumSupernodes(), sum.PCount(), sum.NCount(), sum.HCount(), sum.Cost())
-		fmt.Printf("hierarchy: max height %d, avg leaf depth %.2f\n",
-			sum.MaxHeight(), sum.AvgLeafDepth())
-		if *decodeTo != "" {
-			if err := graph.SaveEdgeList(*decodeTo, sum.Decode()); err != nil {
-				log.Fatalf("decoding: %v", err)
-			}
-			fmt.Printf("decoded graph written to %s\n", *decodeTo)
-		}
-		serveQueries(*serveOn, sum)
+		describe(art, 0, 0)
+		finish(art, *decodeTo, *serveOn)
 		return
 	}
 	if *in == "" {
@@ -72,56 +69,97 @@ func main() {
 	}
 	fmt.Printf("input: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 
-	cfg := core.Config{T: *t, Hb: *hb, Seed: *seed, Workers: *workers}
-	if *verbose {
-		cfg.OnIteration = func(iter int, cost int64) {
-			fmt.Printf("  iteration %2d: cost %d (%.3f relative)\n",
-				iter, cost, float64(cost)/float64(g.NumEdges()))
-		}
+	opts := []slug.Option{
+		slug.WithIterations(*t),
+		slug.WithHeightBound(*hb),
+		slug.WithSeed(*seed),
+		slug.WithWorkers(*workers),
 	}
+	if *verbose {
+		opts = append(opts, slug.WithProgress(func(ev slug.Event) {
+			if ev.Stage != slug.StageIteration {
+				return
+			}
+			if ev.Cost != slug.CostUnknown {
+				fmt.Printf("  step %3d/%d: cost %d (%.3f relative)\n",
+					ev.Step, ev.Total, ev.Cost, float64(ev.Cost)/float64(g.NumEdges()))
+			} else {
+				fmt.Printf("  step %3d/%d\n", ev.Step, ev.Total)
+			}
+		}))
+	}
+	// Ctrl-C cancels the build promptly instead of killing the process
+	// mid-write. The handler is released right after the build so a
+	// later Ctrl-C still terminates -serve/-validate/-save normally.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	start := time.Now()
-	sum, stats := core.Summarize(g, cfg)
+	art, err := slug.Get(*algo).Summarize(ctx, g, opts...)
 	elapsed := time.Since(start)
-
-	fmt.Printf("summary: %d supernodes, |P+|=%d |P-|=%d |H|=%d\n",
-		sum.NumSupernodes(), sum.PCount(), sum.NCount(), sum.HCount())
-	fmt.Printf("cost: %d (relative size %.4f), merges=%d, pre-prune cost=%d\n",
-		sum.Cost(), sum.RelativeSize(g.NumEdges()), stats.Merges, stats.CostBeforePrune)
-	fmt.Printf("hierarchy: max height %d, avg leaf depth %.2f\n",
-		sum.MaxHeight(), sum.AvgLeafDepth())
-	fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))
+	stop()
+	if err != nil {
+		log.Fatalf("summarizing with %s: %v", *algo, err)
+	}
+	describe(art, g.NumEdges(), elapsed)
 
 	if *validate {
-		if err := sum.Validate(g); err != nil {
+		if err := slug.Validate(art, g); err != nil {
 			log.Fatalf("validation FAILED: %v", err)
 		}
 		fmt.Println("validation: OK (lossless)")
 	}
 	if *save != "" {
-		if err := sum.Save(*save); err != nil {
-			log.Fatalf("saving summary: %v", err)
+		if err := slug.Save(*save, art); err != nil {
+			log.Fatalf("saving artifact: %v", err)
 		}
-		fmt.Printf("summary written to %s\n", *save)
+		fmt.Printf("artifact written to %s\n", *save)
 	}
-	if *decodeTo != "" {
-		if err := graph.SaveEdgeList(*decodeTo, sum.Decode()); err != nil {
-			log.Fatalf("decoding: %v", err)
-		}
-		fmt.Printf("decoded graph written to %s\n", *decodeTo)
-	}
-	serveQueries(*serveOn, sum)
+	finish(art, *decodeTo, *serveOn)
 }
 
-// serveQueries compiles the summary and serves HTTP queries on addr,
-// blocking until the listener fails. No-op when addr is empty.
-func serveQueries(addr string, sum *model.Summary) {
-	if addr == "" {
+// describe prints an artifact's statistics; edges and elapsed are zero
+// when unknown (the -load path).
+func describe(art slug.Artifact, edges int64, elapsed time.Duration) {
+	fmt.Printf("artifact: algorithm=%s cost=%d", art.Algorithm(), art.Cost())
+	if edges > 0 {
+		fmt.Printf(" (relative size %.4f)", float64(art.Cost())/float64(edges))
+	}
+	fmt.Println()
+	switch a := art.(type) {
+	case *slug.Hierarchical:
+		s := a.Summary
+		fmt.Printf("hierarchical model: %d supernodes, |P+|=%d |P-|=%d |H|=%d\n",
+			s.NumSupernodes(), s.PCount(), s.NCount(), s.HCount())
+		fmt.Printf("hierarchy: max height %d, avg leaf depth %.2f\n",
+			s.MaxHeight(), s.AvgLeafDepth())
+	case *slug.Flat:
+		s := a.Summary
+		fmt.Printf("flat model: %d supernodes, |P|=%d |C+|=%d |C-|=%d\n",
+			s.NumSupernodes(), len(s.P), len(s.CPlus), len(s.CMinus))
+	}
+	if elapsed > 0 {
+		fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))
+	}
+}
+
+// finish handles the output actions shared by the build and load paths:
+// decoding to an edge list and serving queries.
+func finish(art slug.Artifact, decodeTo, serveOn string) {
+	if decodeTo != "" {
+		if err := graph.SaveEdgeList(decodeTo, art.Decode()); err != nil {
+			log.Fatalf("decoding: %v", err)
+		}
+		fmt.Printf("decoded graph written to %s\n", decodeTo)
+	}
+	if serveOn == "" {
 		return
 	}
-	cs := sum.Compile()
-	fmt.Printf("serving queries on %s (%d vertices, %d supernodes)\n",
-		addr, cs.NumNodes(), cs.NumSupernodes())
-	if err := serve.New(cs).ListenAndServe(addr); err != nil {
+	cs, err := art.Queryable()
+	if err != nil {
+		log.Fatalf("compiling artifact for serving: %v", err)
+	}
+	fmt.Printf("serving %s queries on %s (%d vertices, %d supernodes)\n",
+		art.Algorithm(), serveOn, cs.NumNodes(), cs.NumSupernodes())
+	if err := serve.New(cs).WithAlgorithm(art.Algorithm()).ListenAndServe(serveOn); err != nil {
 		log.Fatal(err)
 	}
 }

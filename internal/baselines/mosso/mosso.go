@@ -9,6 +9,7 @@
 package mosso
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/flat"
@@ -21,6 +22,11 @@ import (
 type Config struct {
 	Escape float64 // escape probability e (default 0.3)
 	Trials int     // candidate samples per processed edge c (default 120)
+
+	// OnProgress, if non-nil, is invoked periodically (about ten times
+	// per run, and always after the last edge) with the number of
+	// streamed edges processed so far and the total.
+	OnProgress func(processed, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -37,17 +43,40 @@ func (c Config) withDefaults() Config {
 // incremental summarizer and returns the optimal flat encoding of the
 // final partition.
 func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
+	s, _ := SummarizeCtx(context.Background(), g, seed, cfg)
+	return s
+}
+
+// SummarizeCtx runs MoSSo like Summarize but checks ctx before every
+// streamed edge: a cancelled context makes the run return promptly with
+// a nil summary and ctx.Err().
+func SummarizeCtx(ctx context.Context, g *graph.Graph, seed int64, cfg Config) (*flat.Summary, error) {
+	// An edgeless graph skips the stream loop entirely; honor
+	// cancellation even then.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	gr := flatgreedy.New(g)
 	rng := rand.New(rand.NewSource(seed))
 
 	edges := g.Edges()
 	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
-	for _, e := range edges {
+	step := len(edges) / 10
+	if step == 0 {
+		step = 1
+	}
+	for i, e := range edges {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ProcessInsertion(gr, e[0], e[1], cfg, rng)
 		ProcessInsertion(gr, e[1], e[0], cfg, rng)
+		if cfg.OnProgress != nil && ((i+1)%step == 0 || i+1 == len(edges)) {
+			cfg.OnProgress(i+1, len(edges))
+		}
 	}
-	return gr.Encode()
+	return gr.Encode(), nil
 }
 
 // ProcessInsertion performs MoSSo's randomized move proposals for

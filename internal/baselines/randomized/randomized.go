@@ -6,6 +6,7 @@
 package randomized
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/flat"
@@ -16,6 +17,19 @@ import (
 // Summarize runs the randomized greedy search and returns the optimal
 // flat encoding of the resulting partition.
 func Summarize(g *graph.Graph, seed int64) *flat.Summary {
+	s, _ := SummarizeCtx(context.Background(), g, seed)
+	return s
+}
+
+// SummarizeCtx runs the randomized greedy search like Summarize but
+// checks ctx on every pick from the unfinished pool: a cancelled
+// context makes the run return promptly with a nil summary and
+// ctx.Err().
+func SummarizeCtx(ctx context.Context, g *graph.Graph, seed int64) (*flat.Summary, error) {
+	// A vertexless graph has an empty pool; honor cancellation even then.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	gr := flatgreedy.New(g)
 	rng := rand.New(rand.NewSource(seed))
 
@@ -24,6 +38,9 @@ func Summarize(g *graph.Graph, seed int64) *flat.Summary {
 		unfinished[i] = int32(i)
 	}
 	for len(unfinished) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		i := rng.Intn(len(unfinished))
 		u := unfinished[i]
 		if !gr.Alive(u) {
@@ -46,7 +63,7 @@ func Summarize(g *graph.Graph, seed int64) *flat.Summary {
 		unfinished[i] = unfinished[len(unfinished)-1]
 		unfinished = unfinished[:len(unfinished)-1]
 	}
-	return gr.Encode()
+	return gr.Encode(), nil
 }
 
 // twoHopGroups returns the distinct groups within two hops of group u

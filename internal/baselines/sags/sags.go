@@ -7,6 +7,7 @@
 package sags
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -22,6 +23,10 @@ type Config struct {
 	H int     // total hash functions (default 30)
 	B int     // bands (default 10); H/B rows per band
 	P float64 // merge probability (default 0.3)
+
+	// OnBand, if non-nil, is invoked after each LSH band is processed
+	// with the band number (1-based) and the total band count.
+	OnBand func(band, bands int)
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +45,14 @@ func (c Config) withDefaults() Config {
 // Summarize runs SAGS and returns the optimal flat encoding of the
 // resulting partition.
 func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
+	s, _ := SummarizeCtx(context.Background(), g, seed, cfg)
+	return s
+}
+
+// SummarizeCtx runs SAGS like Summarize but checks ctx before every LSH
+// band: a cancelled context makes the run return promptly with a nil
+// summary and ctx.Err().
+func SummarizeCtx(ctx context.Context, g *graph.Graph, seed int64, cfg Config) (*flat.Summary, error) {
 	cfg = cfg.withDefaults()
 	gr := flatgreedy.New(g)
 	rng := rand.New(rand.NewSource(seed))
@@ -49,6 +62,9 @@ func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
 	}
 
 	for band := 0; band < cfg.B; band++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Band signature: combined hash of `rows` min-hash values of the
 		// supernode neighborhood.
 		sigs := bandSignatures(gr, uint64(seed), band, rows)
@@ -78,8 +94,11 @@ func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
 				}
 			}
 		}
+		if cfg.OnBand != nil {
+			cfg.OnBand(band+1, cfg.B)
+		}
 	}
-	return gr.Encode()
+	return gr.Encode(), nil
 }
 
 // bandSignatures computes, for every live supernode, the combined hash

@@ -7,6 +7,7 @@
 package sweg
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/flat"
@@ -21,6 +22,10 @@ type Config struct {
 	T         int
 	MaxGroup  int
 	MaxLevels int
+
+	// OnIteration, if non-nil, is invoked after each merging iteration
+	// with the iteration number (1-based).
+	OnIteration func(t int)
 }
 
 func (c Config) withDefaults() Config {
@@ -39,6 +44,19 @@ func (c Config) withDefaults() Config {
 // Summarize runs SWeG and returns the optimal flat encoding of the
 // final partition.
 func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
+	s, _ := SummarizeCtx(context.Background(), g, seed, cfg)
+	return s
+}
+
+// SummarizeCtx runs SWeG like Summarize but checks ctx between
+// candidate groups: a cancelled context makes the run return promptly
+// with a nil summary and ctx.Err().
+func SummarizeCtx(ctx context.Context, g *graph.Graph, seed int64, cfg Config) (*flat.Summary, error) {
+	// Degenerate inputs may produce no candidate groups at all; honor
+	// cancellation even then.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	gr := flatgreedy.New(g)
 	rng := rand.New(rand.NewSource(seed))
@@ -46,10 +64,16 @@ func Summarize(g *graph.Graph, seed int64, cfg Config) *flat.Summary {
 	for t := 1; t <= cfg.T; t++ {
 		theta := threshold(t, cfg.T)
 		for _, group := range candidateGroups(gr, t, seed, cfg, rng) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			processGroup(gr, group, theta, rng)
 		}
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(t)
+		}
 	}
-	return gr.Encode()
+	return gr.Encode(), nil
 }
 
 func threshold(t, T int) float64 {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"math/rand"
+	"sort"
 
 	"repro/internal/model"
 )
@@ -382,14 +384,18 @@ func (p *pruner) addMissingPairs(ra, rb int32) {
 // run executes the pruning substeps for the given number of rounds,
 // invoking hook (if non-nil) with the round, substep index and a
 // snapshot after every substep. Substep 0 of round 1 is the pre-pruning
-// state. It stops early when a full round changes nothing.
-func (p *pruner) run(rounds int, hook func(round, substep int, snap PruneSnapshot)) {
+// state. It stops early when a full round changes nothing, and returns
+// ctx.Err() (checked before every substep) when ctx is cancelled.
+func (p *pruner) run(ctx context.Context, rounds int, hook func(round, substep int, snap PruneSnapshot)) error {
 	if hook != nil {
 		hook(1, 0, p.snapshot())
 	}
 	for round := 1; round <= rounds; round++ {
 		changed := false
 		for stepIdx, step := range []func() bool{p.step1, p.step2, p.step3} {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if step() {
 				changed = true
 			}
@@ -401,6 +407,7 @@ func (p *pruner) run(rounds int, hook func(round, substep int, snap PruneSnapsho
 			break
 		}
 	}
+	return nil
 }
 
 // emit converts the pruned state into an immutable model.Summary,
@@ -436,10 +443,18 @@ func (p *pruner) emit() *model.Summary {
 	}
 	var edges []model.Edge
 	for a := int32(0); a < st.next; a++ {
-		for b, net := range p.adj[a] {
-			if b < a {
-				continue
+		// Iterate partners in sorted order: map order would make the
+		// emitted edge list — and hence serialized artifacts — differ
+		// between runs with identical seeds.
+		partners := make([]int32, 0, len(p.adj[a]))
+		for b := range p.adj[a] {
+			if b >= a {
+				partners = append(partners, b)
 			}
+		}
+		sort.Slice(partners, func(i, j int) bool { return partners[i] < partners[j] })
+		for _, b := range partners {
+			net := p.adj[a][b]
 			sign := int8(1)
 			if net < 0 {
 				sign = -1

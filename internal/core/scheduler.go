@@ -25,6 +25,7 @@ package core
 // locks.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -141,9 +142,15 @@ func groupRNG(seed int64, iter, gi int) *rand.Rand {
 // pool. Returns the total number of merges. With workers == 1 the
 // groups run serially in order — producing byte-identical state to any
 // parallel schedule.
-func (st *state) runIteration(groups [][]int32, iter int, seed int64, theta float64, hb int) int {
+//
+// Cancellation is checked between groups (serial) and between group
+// dispatches (parallel); on a cancelled ctx the iteration stops
+// scheduling new groups, waits for in-flight workers to drain, and
+// returns ctx.Err(). The summarization state is abandoned by the
+// caller, so no cleanup beyond draining is needed.
+func (st *state) runIteration(ctx context.Context, groups [][]int32, iter int, seed int64, theta float64, hb int) (int, error) {
 	if len(groups) == 0 {
-		return 0
+		return 0, ctx.Err()
 	}
 	// Reserve the worst-case id block of every group up front, in group
 	// order, so allocated ids are schedule-independent.
@@ -160,12 +167,23 @@ func (st *state) runIteration(groups [][]int32, iter int, seed int64, theta floa
 	}
 
 	mergesPer := make([]int, len(groups))
-	if st.workers <= 1 {
-		ctx := st.getCtx()
-		for gi, grp := range groups {
-			mergesPer[gi] = st.processGroup(grp, groupRNG(seed, iter, gi), blocks[gi], ctx, theta, hb, 1)
+	tally := func() int {
+		merges := 0
+		for _, m := range mergesPer {
+			merges += m
 		}
-		st.putCtx(ctx)
+		return merges
+	}
+	if st.workers <= 1 {
+		gc := st.getCtx()
+		for gi, grp := range groups {
+			if err := ctx.Err(); err != nil {
+				st.putCtx(gc)
+				return tally(), err
+			}
+			mergesPer[gi] = st.processGroup(grp, groupRNG(seed, iter, gi), blocks[gi], gc, theta, hb, 1)
+		}
+		st.putCtx(gc)
 	} else {
 		waves := buildWaves(st.groupConflicts(groups), len(groups))
 		for _, wave := range waves {
@@ -176,17 +194,23 @@ func (st *state) runIteration(groups [][]int32, iter int, seed int64, theta floa
 			sem := make(chan struct{}, st.workers)
 			var wg sync.WaitGroup
 			for _, gi := range wave {
+				if ctx.Err() != nil {
+					break
+				}
 				wg.Add(1)
 				sem <- struct{}{}
 				go func(gi int32) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					ctx := st.getCtx()
-					mergesPer[gi] = st.processGroup(groups[gi], groupRNG(seed, iter, int(gi)), blocks[gi], ctx, theta, hb, inner)
-					st.putCtx(ctx)
+					gc := st.getCtx()
+					mergesPer[gi] = st.processGroup(groups[gi], groupRNG(seed, iter, int(gi)), blocks[gi], gc, theta, hb, inner)
+					st.putCtx(gc)
 				}(gi)
 			}
 			wg.Wait()
+			if err := ctx.Err(); err != nil {
+				return tally(), err
+			}
 		}
 	}
 
@@ -196,5 +220,5 @@ func (st *state) runIteration(groups [][]int32, iter int, seed int64, theta floa
 		merges += mergesPer[gi]
 		st.releaseIDs(blocks[gi][mergesPer[gi]:])
 	}
-	return merges
+	return merges, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -78,6 +79,20 @@ func Threshold(t, T int) float64 {
 // hierarchical summary together with run statistics. The output model
 // represents g exactly.
 func Summarize(g *graph.Graph, cfg Config) (*model.Summary, Stats) {
+	sum, stats, err := SummarizeCtx(context.Background(), g, cfg)
+	if err != nil {
+		// Background contexts never cancel, so this is unreachable.
+		panic(err)
+	}
+	return sum, stats
+}
+
+// SummarizeCtx runs SLUGGER like Summarize but honors context
+// cancellation: a cancelled ctx makes the run return promptly — between
+// candidate groups of the merge phase and between pruning substeps —
+// with a nil summary and ctx.Err(). No goroutines are leaked on
+// cancellation; in-flight group workers drain before the call returns.
+func SummarizeCtx(ctx context.Context, g *graph.Graph, cfg Config) (*model.Summary, Stats, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	st := newState(g, rng)
@@ -91,7 +106,11 @@ func Summarize(g *graph.Graph, cfg Config) (*model.Summary, Stats) {
 	for t := 1; t <= cfg.T; t++ {
 		theta := Threshold(t, cfg.T)
 		groups := st.generateCandidates(t, cfg.MaxGroup, cfg.MaxLevels, cfg.Seed)
-		stats.Merges += st.runIteration(groups, t, cfg.Seed, theta, cfg.Hb)
+		merges, err := st.runIteration(ctx, groups, t, cfg.Seed, theta, cfg.Hb)
+		stats.Merges += merges
+		if err != nil {
+			return nil, stats, err
+		}
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(t, st.totalCost())
 		}
@@ -100,9 +119,11 @@ func Summarize(g *graph.Graph, cfg Config) (*model.Summary, Stats) {
 
 	pr := newPruner(st)
 	if !cfg.SkipPrune {
-		pr.run(cfg.PruneRounds, cfg.OnPruneSubstep)
+		if err := pr.run(ctx, cfg.PruneRounds, cfg.OnPruneSubstep); err != nil {
+			return nil, stats, err
+		}
 	}
 	sum := pr.emit()
 	stats.FinalCost = sum.Cost()
-	return sum, stats
+	return sum, stats, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -238,7 +239,7 @@ func TestBookkeepingConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	st := newState(g, rng)
 	for t2 := 1; t2 <= 5; t2++ {
-		st.runIteration(st.generateCandidates(t2, 100, 5, 5), t2, 5, Threshold(t2, 5), 0)
+		st.runIteration(context.Background(), st.generateCandidates(t2, 100, 5, 5), t2, 5, Threshold(t2, 5), 0)
 		// pcost must match the actual edge lists.
 		for _, r := range st.roots() {
 			want := int64(len(st.within[r]))

@@ -11,16 +11,13 @@ import (
 	"time"
 
 	"repro/internal/algos"
-	"repro/internal/baselines/mosso"
-	"repro/internal/baselines/randomized"
-	"repro/internal/baselines/sags"
-	"repro/internal/baselines/sweg"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/flat"
 	"repro/internal/graph"
 	"repro/internal/model"
 	"repro/internal/summarize"
+	"repro/pkg/slug"
 )
 
 // Options configures a run of the experiment suite.
@@ -30,7 +27,10 @@ type Options struct {
 	Trials  int // runs averaged per measurement (paper: 5)
 	T       int // SLUGGER/SWeG iterations (paper: 20)
 	Workers int // SLUGGER candidate-group pipeline workers (0/1 = serial)
-	Out     io.Writer
+	// Algos restricts the compared algorithms to these canonical
+	// pkg/slug names (nil = all five, in the paper's order).
+	Algos []string
+	Out   io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -46,28 +46,53 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// paperOrder lists the canonical pkg/slug algorithm names in the order
+// the paper's tables present them, with the display names used in
+// printed rows.
+var paperOrder = []struct{ canonical, display string }{
+	{"slugger", "Slugger"},
+	{"sweg", "SWeG"},
+	{"mosso", "MoSSo"},
+	{"randomized", "Randomized"},
+	{"sags", "SAGS"},
+}
+
 // Algorithms returns the five compared summarizers (paper Sect. IV-A),
-// each reporting its model's encoding cost. workers sets SLUGGER's
-// candidate-group pipeline width (the baselines stay serial).
+// driven through the unified pkg/slug API and each reporting its
+// artifact's encoding cost. workers sets SLUGGER's candidate-group
+// pipeline width (the baselines stay serial; the shared option set is
+// ignored where inapplicable).
 func Algorithms(T, workers int) *summarize.Registry {
+	return AlgorithmsNamed(T, workers, nil)
+}
+
+// AlgorithmsNamed is Algorithms restricted to the given canonical
+// pkg/slug names (nil = all five). Unknown names are skipped.
+func AlgorithmsNamed(T, workers int, names []string) *summarize.Registry {
+	want := func(string) bool { return true }
+	if len(names) > 0 {
+		set := make(map[string]bool, len(names))
+		for _, n := range names {
+			set[n] = true
+		}
+		want = func(n string) bool { return set[n] }
+	}
 	reg := summarize.NewRegistry()
-	reg.Register(summarize.Func{AlgName: "Slugger", F: func(g *graph.Graph, seed int64) int64 {
-		s, _ := core.Summarize(g, core.Config{T: T, Seed: seed, Workers: workers})
-		return s.Cost()
-	}})
-	reg.Register(summarize.Func{AlgName: "SWeG", F: func(g *graph.Graph, seed int64) int64 {
-		return sweg.Summarize(g, seed, sweg.Config{T: T}).Cost()
-	}})
-	reg.Register(summarize.Func{AlgName: "MoSSo", F: func(g *graph.Graph, seed int64) int64 {
-		return mosso.Summarize(g, seed, mosso.Config{}).Cost()
-	}})
-	reg.Register(summarize.Func{AlgName: "Randomized", F: func(g *graph.Graph, seed int64) int64 {
-		return randomized.Summarize(g, seed).Cost()
-	}})
-	reg.Register(summarize.Func{AlgName: "SAGS", F: func(g *graph.Graph, seed int64) int64 {
-		return sags.Summarize(g, seed, sags.Config{}).Cost()
-	}})
+	opts := []slug.Option{slug.WithIterations(T), slug.WithWorkers(workers)}
+	for _, a := range paperOrder {
+		if !want(a.canonical) {
+			continue
+		}
+		if s, ok := slug.Lookup(a.canonical); ok {
+			reg.Register(summarize.FromSlug(s, a.display, opts...))
+		}
+	}
 	return reg
+}
+
+// registry builds the algorithm registry for one Options value.
+func (o Options) registry() *summarize.Registry {
+	return AlgorithmsNamed(o.T, o.Workers, o.Algos)
 }
 
 // Fig5a reproduces Fig. 1(a)/Fig. 5(a): the relative size of outputs of
@@ -75,7 +100,7 @@ func Algorithms(T, workers int) *summarize.Registry {
 // dataset then algorithm.
 func Fig5a(opt Options) map[string]map[string]summarize.Result {
 	opt = opt.withDefaults()
-	reg := Algorithms(opt.T, opt.Workers)
+	reg := opt.registry()
 	out := make(map[string]map[string]summarize.Result)
 	fmt.Fprintf(opt.Out, "=== Fig 5(a): relative size of outputs (scale=%.2f, trials=%d) ===\n", opt.Scale, opt.Trials)
 	fmt.Fprintf(opt.Out, "%-4s %10s", "data", "|E|")
@@ -103,7 +128,7 @@ func Fig5a(opt Options) map[string]map[string]summarize.Result {
 // SLUGGER's speedups over SWeG and SAGS.
 func Fig5b(opt Options) map[string]map[string]summarize.Result {
 	opt = opt.withDefaults()
-	reg := Algorithms(opt.T, opt.Workers)
+	reg := opt.registry()
 	out := make(map[string]map[string]summarize.Result)
 	fmt.Fprintf(opt.Out, "=== Fig 5(b): running time (scale=%.2f) ===\n", opt.Scale)
 	fmt.Fprintf(opt.Out, "%-4s", "data")
@@ -121,13 +146,17 @@ func Fig5b(opt Options) map[string]map[string]summarize.Result {
 			row[name] = r
 			fmt.Fprintf(opt.Out, " %12s", r.Elapsed.Round(time.Millisecond))
 		}
-		spd := func(other string) float64 {
-			if row["Slugger"].Elapsed == 0 {
-				return 0
+		spd := func(other string) string {
+			// Either participant may be filtered out via Options.Algos;
+			// don't fake a measured 0.00x then.
+			me, okMe := row["Slugger"]
+			them, okThem := row[other]
+			if !okMe || !okThem || me.Elapsed == 0 {
+				return "n/a"
 			}
-			return float64(row[other].Elapsed) / float64(row["Slugger"].Elapsed)
+			return fmt.Sprintf("%.2fx", float64(them.Elapsed)/float64(me.Elapsed))
 		}
-		fmt.Fprintf(opt.Out, " %9.2fx %9.2fx\n", spd("SWeG"), spd("SAGS"))
+		fmt.Fprintf(opt.Out, " %10s %10s\n", spd("SWeG"), spd("SAGS"))
 		out[spec.Name] = row
 	}
 	return out

@@ -1,0 +1,187 @@
+package flat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of flat summaries. The format is a compact
+// varint stream mirroring internal/model's serializer:
+//
+//	magic "SLGF" | version u8
+//	n varint | numGroups varint
+//	assign (varint group index) per vertex
+//	|P| varint | per superedge: a varint, b varint
+//	|C+| varint | per correction: u varint, v varint
+//	|C-| varint | per correction: u varint, v varint
+//
+// Groups are rebuilt from the assignment on load (vertex order keeps
+// member lists sorted), so the format stores exactly (S, P, C+, C-).
+
+const (
+	magic   = "SLGF"
+	version = 1
+)
+
+// WriteTo serializes the summary. It returns the number of bytes
+// written.
+func (s *Summary) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var count int64
+	write := func(p []byte) error {
+		n, err := bw.Write(p)
+		count += int64(n)
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(x uint64) error {
+		n := binary.PutUvarint(buf[:], x)
+		return write(buf[:n])
+	}
+	writePairs := func(pairs [][2]int32) error {
+		if err := writeUvarint(uint64(len(pairs))); err != nil {
+			return err
+		}
+		for _, p := range pairs {
+			if err := writeUvarint(uint64(p[0])); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(p[1])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write([]byte(magic)); err != nil {
+		return count, err
+	}
+	if err := write([]byte{version}); err != nil {
+		return count, err
+	}
+	if err := writeUvarint(uint64(s.N)); err != nil {
+		return count, err
+	}
+	if err := writeUvarint(uint64(len(s.Groups))); err != nil {
+		return count, err
+	}
+	for _, a := range s.Assign {
+		if err := writeUvarint(uint64(a)); err != nil {
+			return count, err
+		}
+	}
+	for _, pairs := range [][][2]int32{s.P, s.CPlus, s.CMinus} {
+		if err := writePairs(pairs); err != nil {
+			return count, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return count, err
+	}
+	return count, nil
+}
+
+// ReadFrom deserializes a summary written by WriteTo. Corrupt input
+// yields an error, never a silently wrong summary: sizes, assignment
+// indices and edge endpoints are all validated, and declared lengths
+// are never trusted for up-front allocation.
+func ReadFrom(r io.Reader) (*Summary, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("flat: reading header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("flat: bad magic %q", head[:len(magic)])
+	}
+	if head[len(magic)] != version {
+		return nil, fmt.Errorf("flat: unsupported version %d", head[len(magic)])
+	}
+	readUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+
+	n64, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("flat: reading n: %w", err)
+	}
+	numGroups, err := readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("flat: reading group count: %w", err)
+	}
+	// Group indices must fit in int32, and a valid partition never has
+	// more supernodes than vertices.
+	if n64 >= 1<<31 || numGroups > n64 {
+		return nil, fmt.Errorf("flat: implausible sizes n=%d groups=%d", n64, numGroups)
+	}
+	s := &Summary{N: int(n64)}
+	// Grow incrementally rather than trusting the declared count: a
+	// corrupt length prefix must not provoke a giant allocation.
+	s.Assign = make([]int32, 0, min(n64, 1<<20))
+	for i := uint64(0); i < n64; i++ {
+		a, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("flat: reading assignment %d: %w", i, err)
+		}
+		if a >= numGroups {
+			return nil, fmt.Errorf("flat: vertex %d assigned to group %d of %d", i, a, numGroups)
+		}
+		s.Assign = append(s.Assign, int32(a))
+	}
+	s.Groups = make([][]int32, numGroups)
+	for v, a := range s.Assign {
+		s.Groups[a] = append(s.Groups[a], int32(v))
+	}
+	readPairs := func(what string, limit uint64, selfOK bool) ([][2]int32, error) {
+		count, err := readUvarint()
+		if err != nil {
+			return nil, fmt.Errorf("flat: reading %s count: %w", what, err)
+		}
+		pairs := make([][2]int32, 0, min(count, 1<<20))
+		seen := make(map[uint64]bool, min(count, 1<<20))
+		for i := uint64(0); i < count; i++ {
+			a, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("flat: reading %s %d: %w", what, i, err)
+			}
+			b, err := readUvarint()
+			if err != nil {
+				return nil, fmt.Errorf("flat: reading %s %d: %w", what, i, err)
+			}
+			if a >= limit || b >= limit {
+				return nil, fmt.Errorf("flat: %s %d endpoint out of range [0,%d)", what, i, limit)
+			}
+			// Enforce the documented Summary invariants (canonical order,
+			// self-pairs only where meaningful, no duplicates): Encode
+			// never violates them, and accepting a violation here would
+			// let Cost() disagree with the represented graph.
+			if a > b || (!selfOK && a == b) {
+				return nil, fmt.Errorf("flat: %s %d pair (%d,%d) not canonical", what, i, a, b)
+			}
+			key := a<<31 | b
+			if seen[key] {
+				return nil, fmt.Errorf("flat: duplicate %s (%d,%d)", what, a, b)
+			}
+			seen[key] = true
+			pairs = append(pairs, [2]int32{int32(a), int32(b)})
+		}
+		return pairs, nil
+	}
+	if s.P, err = readPairs("superedge", numGroups, true); err != nil {
+		return nil, err
+	}
+	// A superedge on an empty group covers zero vertex pairs: Encode
+	// never emits one, and accepting it would let Cost() disagree with
+	// the represented graph (and with the hierarchical conversion).
+	for i, pe := range s.P {
+		if len(s.Groups[pe[0]]) == 0 || len(s.Groups[pe[1]]) == 0 {
+			return nil, fmt.Errorf("flat: superedge %d touches an empty group", i)
+		}
+	}
+	if s.CPlus, err = readPairs("positive correction", n64, false); err != nil {
+		return nil, err
+	}
+	if s.CMinus, err = readPairs("negative correction", n64, false); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

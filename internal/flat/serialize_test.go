@@ -1,0 +1,116 @@
+package flat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// testSummary builds a flat summary of a caveman graph with a blocked
+// partition, exercising superedges and both correction kinds.
+func testSummary(t *testing.T) (*graph.Graph, *Summary) {
+	t.Helper()
+	g := graph.Caveman(4, 6, 5, 3)
+	assign := make([]int32, g.NumNodes())
+	for v := range assign {
+		assign[v] = int32(v / 3)
+	}
+	return g, Encode(g, assign)
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g, s := testSummary(t)
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got.Cost() != s.Cost() {
+		t.Fatalf("cost changed: %d -> %d", s.Cost(), got.Cost())
+	}
+	if got.NumSupernodes() != s.NumSupernodes() {
+		t.Fatalf("supernodes changed: %d -> %d", s.NumSupernodes(), got.NumSupernodes())
+	}
+	if !graph.Equal(got.Decode(), g) {
+		t.Fatal("round-tripped summary decodes to a different graph")
+	}
+}
+
+func TestReadFromRejectsCorruptInput(t *testing.T) {
+	_, s := testSummary(t)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), raw[4:]...),
+		"bad version": append([]byte("SLGF\xff"), raw[5:]...),
+		"truncated":   raw[:len(raw)/2],
+	}
+	for name, data := range cases {
+		if _, err := ReadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestReadFromRejectsSuperedgeOnEmptyGroup(t *testing.T) {
+	// Hand-build a summary whose superedge touches a group no vertex is
+	// assigned to; Encode never emits this, and ReadFrom must reject it
+	// (Cost would count a superedge that covers zero pairs).
+	bad := &Summary{
+		N:      2,
+		Assign: []int32{0, 0},
+		Groups: [][]int32{{0, 1}, {}},
+		P:      [][2]int32{{0, 1}},
+	}
+	var buf bytes.Buffer
+	if _, err := bad.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrom(&buf); err == nil || !strings.Contains(err.Error(), "empty group") {
+		t.Fatalf("got %v, want empty-group superedge rejection", err)
+	}
+}
+
+func TestReadFromRejectsNonCanonicalPairs(t *testing.T) {
+	base := func() *Summary {
+		return &Summary{N: 3, Assign: []int32{0, 0, 1}, Groups: [][]int32{{0, 1}, {2}}}
+	}
+	cases := map[string]*Summary{
+		"self correction":      func() *Summary { s := base(); s.CPlus = [][2]int32{{1, 1}}; return s }(),
+		"unordered correction": func() *Summary { s := base(); s.CMinus = [][2]int32{{2, 0}}; return s }(),
+		"duplicate pair":       func() *Summary { s := base(); s.CPlus = [][2]int32{{0, 2}, {0, 2}}; return s }(),
+		"unordered superedge":  func() *Summary { s := base(); s.P = [][2]int32{{1, 0}}; return s }(),
+	}
+	for name, bad := range cases {
+		var buf bytes.Buffer
+		if _, err := bad.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFrom(&buf); err == nil {
+			t.Errorf("%s: invalid summary accepted", name)
+		}
+	}
+}
+
+func TestReadFromRejectsImplausibleSizes(t *testing.T) {
+	// More groups than vertices must be rejected before any allocation.
+	data := []byte("SLGF\x01\x02\x05") // n=2, groups=5
+	_, err := ReadFrom(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("got %v, want implausible-sizes error", err)
+	}
+}

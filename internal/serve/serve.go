@@ -23,7 +23,8 @@ import (
 
 // Server answers graph queries against one compiled summary.
 type Server struct {
-	cs *model.CompiledSummary
+	cs   *model.CompiledSummary
+	algo string // producing algorithm, reported by /stats when known
 
 	mu      sync.Mutex
 	prCache map[prKey][]float64
@@ -37,6 +38,14 @@ type prKey struct {
 // New wraps a compiled summary in a query server.
 func New(cs *model.CompiledSummary) *Server {
 	return &Server{cs: cs, prCache: make(map[prKey][]float64)}
+}
+
+// WithAlgorithm records the producing algorithm's name (e.g. from
+// slug.Artifact.Algorithm) so /stats can report what built the served
+// model. It returns the server for chaining.
+func (s *Server) WithAlgorithm(name string) *Server {
+	s.algo = name
+	return s
 }
 
 // Handler returns the HTTP routes:
@@ -98,11 +107,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]int{
+	stats := map[string]any{
 		"nodes":      s.cs.NumNodes(),
 		"supernodes": s.cs.NumSupernodes(),
 		"superedges": s.cs.NumSuperedges(),
-	})
+	}
+	if s.algo != "" {
+		stats["algorithm"] = s.algo
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // NeighborsResult is one entry of the /neighbors response.

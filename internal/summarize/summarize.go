@@ -1,16 +1,19 @@
-// Package summarize defines the common interface through which the
-// experiment harness drives SLUGGER and the four baseline summarizers,
-// plus the shared Result type (relative output size per Eq. (10)/(11),
-// wall-clock time).
+// Package summarize is the experiment harness's thin measurement
+// adapter: it wraps summarizers — today unified-API algorithms from
+// pkg/slug, via FromSlug — behind a cost-reporting interface and
+// produces the shared Result type (relative output size per
+// Eq. (10)/(11), wall-clock time).
 package summarize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
 	"repro/internal/graph"
+	"repro/pkg/slug"
 )
 
 // Result reports one summarization run.
@@ -43,6 +46,23 @@ func (f Func) Name() string { return f.AlgName }
 
 // Run invokes the adapted function.
 func (f Func) Run(g *graph.Graph, seed int64) int64 { return f.F(g, seed) }
+
+// FromSlug adapts a unified-API summarizer (pkg/slug) to the
+// measurement interface, reporting the artifact's encoding cost under
+// the given display name. The per-run seed is appended after opts, so
+// it wins over any WithSeed among them. Runs use a background context
+// (the measurement loop is not cancellable), so a build error is
+// impossible by the slug.Summarizer contract and treated as fatal.
+func FromSlug(s slug.Summarizer, display string, opts ...slug.Option) Summarizer {
+	return Func{AlgName: display, F: func(g *graph.Graph, seed int64) int64 {
+		runOpts := append(append([]slug.Option(nil), opts...), slug.WithSeed(seed))
+		art, err := s.Summarize(context.Background(), g, runOpts...)
+		if err != nil {
+			panic(fmt.Sprintf("summarize: %s failed under a background context: %v", display, err))
+		}
+		return art.Cost()
+	}}
+}
 
 // Measure runs s on g and fills a Result.
 func Measure(s Summarizer, dataset string, g *graph.Graph, seed int64) Result {

@@ -1,0 +1,315 @@
+package slug
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/flat"
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Artifact serialization envelope. Every artifact, regardless of the
+// producing algorithm, is written as
+//
+//	magic "SLGA" | version u8 | kind u8 | algoLen varint | algo bytes
+//	payload (the wrapped model's own serialized form)
+//
+// so a reader can tell what built a file and which model it holds
+// before decoding the payload. ReadFrom also accepts raw hierarchical
+// model streams ("SLGR", as written by older slugger -save runs) and
+// wraps them as slugger artifacts.
+
+const (
+	envelopeMagic   = "SLGA"
+	envelopeVersion = 1
+
+	kindHierarchical = byte(1)
+	kindFlat         = byte(2)
+
+	// legacyModelMagic is the header of a bare hierarchical model
+	// stream from internal/model, accepted for backward compatibility.
+	legacyModelMagic = "SLGR"
+
+	// maxAlgoNameLen bounds the algorithm-name field when reading, so a
+	// corrupt length prefix cannot provoke a giant allocation.
+	maxAlgoNameLen = 256
+)
+
+// Hierarchical is an Artifact wrapping the hierarchical model
+// G = (S, P+, P-, H) produced by SLUGGER.
+type Hierarchical struct {
+	algo    string
+	Summary *model.Summary
+
+	compileOnce sync.Once
+	compiled    *model.CompiledSummary
+}
+
+// NewHierarchical wraps a hierarchical summary as an artifact tagged
+// with the producing algorithm's canonical name.
+func NewHierarchical(algo string, s *model.Summary) *Hierarchical {
+	return &Hierarchical{algo: algo, Summary: s}
+}
+
+// Algorithm returns the producing algorithm's canonical name.
+func (a *Hierarchical) Algorithm() string { return a.algo }
+
+// Cost returns the hierarchical encoding cost |P+| + |P-| + |H|.
+func (a *Hierarchical) Cost() int64 { return a.Summary.Cost() }
+
+// Decode reconstructs the input graph exactly.
+func (a *Hierarchical) Decode() *graph.Graph { return a.Summary.Decode() }
+
+// Queryable compiles the summary into the CSR query engine, once; the
+// compiled form is cached and shared by later calls.
+func (a *Hierarchical) Queryable() (*model.CompiledSummary, error) {
+	a.compileOnce.Do(func() { a.compiled = a.Summary.Compile() })
+	return a.compiled, nil
+}
+
+// WriteTo serializes the artifact through the versioned envelope.
+func (a *Hierarchical) WriteTo(w io.Writer) (int64, error) {
+	return writeEnvelope(w, kindHierarchical, a.algo, a.Summary.WriteTo)
+}
+
+// Flat is an Artifact wrapping the flat model G~ = (S, P, C+, C-) of
+// Navlakha et al., produced by the four baseline algorithms.
+type Flat struct {
+	algo    string
+	Summary *flat.Summary
+
+	compileOnce sync.Once
+	compiled    *model.CompiledSummary
+}
+
+// NewFlat wraps a flat summary as an artifact tagged with the producing
+// algorithm's canonical name.
+func NewFlat(algo string, s *flat.Summary) *Flat {
+	return &Flat{algo: algo, Summary: s}
+}
+
+// Algorithm returns the producing algorithm's canonical name.
+func (a *Flat) Algorithm() string { return a.algo }
+
+// Cost returns the flat encoding cost |P| + |C+| + |C-| + |H*|
+// (Eq. (11)).
+func (a *Flat) Cost() int64 { return a.Summary.Cost() }
+
+// Decode reconstructs the input graph exactly.
+func (a *Flat) Decode() *graph.Graph { return a.Summary.Decode() }
+
+// Queryable converts the flat summary to the equivalent hierarchical
+// model (height-1 trees) and compiles it into the CSR query engine,
+// once; the compiled form is cached and shared by later calls. The
+// conversion preserves the encoding cost and the represented graph, so
+// a baseline's artifact serves queries exactly like a SLUGGER one.
+func (a *Flat) Queryable() (*model.CompiledSummary, error) {
+	a.compileOnce.Do(func() { a.compiled = flatToModel(a.Summary).Compile() })
+	return a.compiled, nil
+}
+
+// WriteTo serializes the artifact through the versioned envelope.
+func (a *Flat) WriteTo(w io.Writer) (int64, error) {
+	return writeEnvelope(w, kindFlat, a.algo, a.Summary.WriteTo)
+}
+
+// writeEnvelope emits the self-describing header, then the payload.
+func writeEnvelope(w io.Writer, kind byte, algo string, payload func(io.Writer) (int64, error)) (int64, error) {
+	if len(algo) > maxAlgoNameLen {
+		return 0, fmt.Errorf("slug: algorithm name %q too long", algo)
+	}
+	var head []byte
+	head = append(head, envelopeMagic...)
+	head = append(head, envelopeVersion, kind)
+	head = binary.AppendUvarint(head, uint64(len(algo)))
+	head = append(head, algo...)
+	n, err := w.Write(head)
+	count := int64(n)
+	if err != nil {
+		return count, err
+	}
+	pn, err := payload(w)
+	return count + pn, err
+}
+
+// ReadFrom deserializes an artifact written by any Artifact's WriteTo.
+// The envelope header restores the producing algorithm and model kind;
+// raw hierarchical model streams (legacy "SLGR" files) are accepted and
+// tagged as slugger output. Corrupt input yields an error, never a
+// silently wrong artifact.
+func ReadFrom(r io.Reader) (Artifact, error) {
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(envelopeMagic))
+	if err != nil {
+		return nil, fmt.Errorf("slug: reading artifact magic: %w", err)
+	}
+	if string(peek) == legacyModelMagic {
+		s, err := model.ReadFrom(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewHierarchical("slugger", s), nil
+	}
+	if string(peek) != envelopeMagic {
+		return nil, fmt.Errorf("slug: bad artifact magic %q", peek)
+	}
+	br.Discard(len(envelopeMagic))
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("slug: reading envelope version: %w", err)
+	}
+	if ver != envelopeVersion {
+		return nil, fmt.Errorf("slug: unsupported envelope version %d", ver)
+	}
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("slug: reading artifact kind: %w", err)
+	}
+	algoLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("slug: reading algorithm name length: %w", err)
+	}
+	if algoLen > maxAlgoNameLen {
+		return nil, fmt.Errorf("slug: implausible algorithm name length %d", algoLen)
+	}
+	algo := make([]byte, algoLen)
+	if _, err := io.ReadFull(br, algo); err != nil {
+		return nil, fmt.Errorf("slug: reading algorithm name: %w", err)
+	}
+	switch kind {
+	case kindHierarchical:
+		s, err := model.ReadFrom(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewHierarchical(string(algo), s), nil
+	case kindFlat:
+		s, err := flat.ReadFrom(br)
+		if err != nil {
+			return nil, err
+		}
+		return NewFlat(string(algo), s), nil
+	default:
+		return nil, fmt.Errorf("slug: unknown artifact kind %d", kind)
+	}
+}
+
+// Save writes an artifact to a file.
+func Save(path string, a Artifact) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := a.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads an artifact from a file written by Save (or by the legacy
+// slugger -save model format).
+func Load(path string) (Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+// Validate checks that the artifact decodes exactly to g, reporting
+// the first discrepancy found (a concrete missing or extra edge) —
+// more useful than a boolean when debugging a losslessness regression.
+func Validate(a Artifact, g *graph.Graph) error {
+	if h, ok := a.(*Hierarchical); ok {
+		// The hierarchical model's validator names the offending edge
+		// without materializing the decoded graph.
+		return h.Summary.Validate(g)
+	}
+	dec := a.Decode()
+	if dec.NumNodes() != g.NumNodes() {
+		return fmt.Errorf("slug: decoded graph has %d nodes, input has %d", dec.NumNodes(), g.NumNodes())
+	}
+	var firstErr error
+	g.ForEachEdge(func(u, v int32) {
+		if firstErr == nil && !dec.HasEdge(u, v) {
+			firstErr = fmt.Errorf("slug: edge (%d,%d) of the input is missing from the decoded graph", u, v)
+		}
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	if dec.NumEdges() != g.NumEdges() {
+		dec.ForEachEdge(func(u, v int32) {
+			if firstErr == nil && !g.HasEdge(u, v) {
+				firstErr = fmt.Errorf("slug: decoded graph has extra edge (%d,%d)", u, v)
+			}
+		})
+		if firstErr == nil {
+			firstErr = fmt.Errorf("slug: decoded graph has %d edges, input has %d", dec.NumEdges(), g.NumEdges())
+		}
+		return firstErr
+	}
+	return nil
+}
+
+// flatToModel converts a flat summary into the equivalent hierarchical
+// model: every non-singleton supernode becomes a height-1 tree,
+// superedges become p-edges between the corresponding supernodes, and
+// corrections become signed edges between leaves. Net per-pair counts
+// are preserved, so the model represents the same graph, and the
+// hierarchical cost |P+| + |P-| + |H| equals the flat cost (Eq. (11)).
+func flatToModel(f *flat.Summary) *model.Summary {
+	n := f.N
+	parent := make([]int32, n, n+len(f.Groups))
+	for i := range parent {
+		parent[i] = -1
+	}
+	// super[gi] is the model supernode standing for group gi: a fresh
+	// internal node for groups of two or more, the lone member for
+	// singletons, -1 for empty groups (which encode nothing).
+	super := make([]int32, len(f.Groups))
+	next := int32(n)
+	for gi, members := range f.Groups {
+		switch {
+		case len(members) >= 2:
+			super[gi] = next
+			parent = append(parent, -1)
+			for _, v := range members {
+				parent[v] = next
+			}
+			next++
+		case len(members) == 1:
+			super[gi] = members[0]
+		default:
+			super[gi] = -1
+		}
+	}
+	edges := make([]model.Edge, 0, len(f.P)+len(f.CPlus)+len(f.CMinus))
+	add := func(a, b int32, sign int8) {
+		if a > b {
+			a, b = b, a
+		}
+		edges = append(edges, model.Edge{A: a, B: b, Sign: sign})
+	}
+	for _, pe := range f.P {
+		a, b := super[pe[0]], super[pe[1]]
+		if a < 0 || b < 0 {
+			continue // superedge on an empty group covers zero pairs
+		}
+		add(a, b, 1)
+	}
+	for _, e := range f.CPlus {
+		add(e[0], e[1], 1)
+	}
+	for _, e := range f.CMinus {
+		add(e[0], e[1], -1)
+	}
+	return model.New(n, parent, edges)
+}

@@ -1,0 +1,48 @@
+package slug_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/pkg/slug"
+)
+
+// benchGraph is shared by the overhead pair below; both run the exact
+// same SLUGGER configuration, so any ns/op gap is the unified API's
+// wrapper cost (option resolution + artifact allocation), which must
+// stay within noise.
+func benchGraph() *graph.Graph {
+	return graph.Caveman(12, 12, 24, 7)
+}
+
+// BenchmarkDirectSlugger measures calling the construction core
+// directly — the pre-API baseline.
+func BenchmarkDirectSlugger(b *testing.B) {
+	g := benchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum, _ := core.Summarize(g, core.Config{T: 20, Seed: 1})
+		if sum.Cost() <= 0 {
+			b.Fatal("bad cost")
+		}
+	}
+}
+
+// BenchmarkAPISlugger measures the identical build through
+// slug.Get("slugger").Summarize.
+func BenchmarkAPISlugger(b *testing.B) {
+	g := benchGraph()
+	s := slug.Get("slugger")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		art, err := s.Summarize(ctx, g, slug.WithIterations(20), slug.WithSeed(1))
+		if err != nil || art.Cost() <= 0 {
+			b.Fatal("bad artifact")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package slug
+
+// Option tunes one Summarize call. Options not applicable to the
+// chosen algorithm are ignored, so a single option set can drive every
+// registered algorithm (e.g. from the experiment harness).
+type Option func(*buildConfig)
+
+// buildConfig is the resolved option set handed to algorithm adapters.
+// Zero values mean "algorithm default".
+type buildConfig struct {
+	iterations  int // main-loop iterations T (slugger, sweg)
+	heightBound int // hierarchy height bound Hb (slugger)
+	seed        int64
+	workers     int // merge-phase worker pool size (slugger)
+	progress    func(Event)
+}
+
+func resolve(opts []Option) buildConfig {
+	var cfg buildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// WithIterations sets the number of main-loop iterations T for the
+// iterative algorithms (SLUGGER and SWeG; default 20, as in the paper).
+// Other algorithms ignore it.
+func WithIterations(t int) Option {
+	return func(cfg *buildConfig) { cfg.iterations = t }
+}
+
+// WithHeightBound bounds the height of SLUGGER's hierarchy trees
+// (0 = unbounded, the default). Flat algorithms ignore it.
+func WithHeightBound(hb int) Option {
+	return func(cfg *buildConfig) { cfg.heightBound = hb }
+}
+
+// WithSeed sets the seed driving all randomness; every algorithm is
+// deterministic given a seed. The default seed is 0.
+func WithSeed(seed int64) Option {
+	return func(cfg *buildConfig) { cfg.seed = seed }
+}
+
+// WithWorkers sets the size of SLUGGER's merge-phase worker pool
+// (default 1 = serial; any value produces byte-identical output). The
+// serial baselines ignore it.
+func WithWorkers(n int) Option {
+	return func(cfg *buildConfig) { cfg.workers = n }
+}
+
+// WithProgress registers a callback receiving build progress Events.
+// The callback runs synchronously on the building goroutine, so it may
+// cancel the build's context to stop promptly; it must not block.
+func WithProgress(fn func(Event)) Option {
+	return func(cfg *buildConfig) { cfg.progress = fn }
+}
+
+// emit delivers an event if a progress callback is registered.
+func (cfg *buildConfig) emit(ev Event) {
+	if cfg.progress != nil {
+		cfg.progress(ev)
+	}
+}

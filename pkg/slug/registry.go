@@ -1,0 +1,71 @@
+package slug
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Summarizer)
+)
+
+// Register adds a Summarizer to the global registry under s.Name().
+// It panics on an empty name or a duplicate registration; replacing an
+// algorithm is a programming error, not a runtime configuration.
+func Register(s Summarizer) {
+	name := s.Name()
+	if name == "" {
+		panic("slug: Register with empty algorithm name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("slug: duplicate algorithm %q", name))
+	}
+	registry[name] = s
+}
+
+// Get returns the named Summarizer. Unknown names return a stub whose
+// Summarize reports an "unknown algorithm" error, so calls chain
+// naturally: slug.Get(name).Summarize(ctx, g, opts...). Use Lookup to
+// distinguish registered algorithms up front.
+func Get(name string) Summarizer {
+	if s, ok := Lookup(name); ok {
+		return s
+	}
+	return unknownSummarizer(name)
+}
+
+// Lookup returns the named Summarizer and whether it is registered.
+func Lookup(name string) (Summarizer, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Algorithms returns the sorted names of all registered algorithms.
+func Algorithms() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// unknownSummarizer is Get's stub for unregistered names.
+type unknownSummarizer string
+
+func (u unknownSummarizer) Name() string { return string(u) }
+
+func (u unknownSummarizer) Summarize(context.Context, *graph.Graph, ...Option) (Artifact, error) {
+	return nil, fmt.Errorf("slug: unknown algorithm %q (have %v)", string(u), Algorithms())
+}

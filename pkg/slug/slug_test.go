@@ -1,0 +1,307 @@
+package slug_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/pkg/slug"
+
+	"repro/internal/core"
+)
+
+func testGraph() *graph.Graph {
+	return graph.Caveman(5, 8, 10, 42)
+}
+
+// TestRegistryRoundTrip drives every registered algorithm through the
+// full artifact lifecycle: build, serialize, deserialize, decode, and
+// compile for serving. The decoded graph must equal the input exactly
+// and the algorithm tag must survive the envelope.
+func TestRegistryRoundTrip(t *testing.T) {
+	g := testGraph()
+	names := slug.Algorithms()
+	if len(names) != 5 {
+		t.Fatalf("registered algorithms = %v, want 5", names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			art, err := slug.Get(name).Summarize(context.Background(), g,
+				slug.WithIterations(5), slug.WithSeed(7))
+			if err != nil {
+				t.Fatalf("Summarize: %v", err)
+			}
+			if art.Algorithm() != name {
+				t.Fatalf("Algorithm() = %q, want %q", art.Algorithm(), name)
+			}
+			if art.Cost() <= 0 {
+				t.Fatalf("Cost() = %d, want > 0", art.Cost())
+			}
+
+			var buf bytes.Buffer
+			n, err := art.WriteTo(&buf)
+			if err != nil {
+				t.Fatalf("WriteTo: %v", err)
+			}
+			if n != int64(buf.Len()) {
+				t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+			}
+			got, err := slug.ReadFrom(&buf)
+			if err != nil {
+				t.Fatalf("ReadFrom: %v", err)
+			}
+			if got.Algorithm() != name {
+				t.Fatalf("algorithm tag lost: %q -> %q", name, got.Algorithm())
+			}
+			if got.Cost() != art.Cost() {
+				t.Fatalf("cost changed across serialization: %d -> %d", art.Cost(), got.Cost())
+			}
+			if !graph.Equal(got.Decode(), g) {
+				t.Fatal("round-tripped artifact decodes to a different graph")
+			}
+
+			cs, err := got.Queryable()
+			if err != nil {
+				t.Fatalf("Queryable: %v", err)
+			}
+			if cs.NumNodes() != g.NumNodes() {
+				t.Fatalf("compiled nodes = %d, want %d", cs.NumNodes(), g.NumNodes())
+			}
+			for v := int32(0); v < 20; v++ {
+				want := g.Neighbors(v)
+				got := cs.NeighborsOf(v)
+				if len(got) != len(want) {
+					t.Fatalf("vertex %d: compiled degree %d, want %d", v, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("vertex %d: compiled neighbors %v, want %v", v, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLegacyModelStream checks that a bare hierarchical model stream
+// (the pre-envelope slugger -save format) still loads, tagged as
+// slugger output.
+func TestLegacyModelStream(t *testing.T) {
+	g := testGraph()
+	sum, _ := core.Summarize(g, core.Config{T: 3, Seed: 1})
+	var buf bytes.Buffer
+	if _, err := sum.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	art, err := slug.ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom legacy stream: %v", err)
+	}
+	if art.Algorithm() != "slugger" {
+		t.Fatalf("legacy algorithm tag = %q, want slugger", art.Algorithm())
+	}
+	if art.Cost() != sum.Cost() {
+		t.Fatalf("legacy cost = %d, want %d", art.Cost(), sum.Cost())
+	}
+}
+
+func TestReadFromRejectsCorruptEnvelope(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOPE....."),
+		"bad version":  []byte("SLGA\xff\x01\x00"),
+		"bad kind":     []byte("SLGA\x01\x09\x00"),
+		"giant name":   append([]byte("SLGA\x01\x01"), 0xff, 0xff, 0x7f),
+		"cut payload":  []byte("SLGA\x01\x01\x03abc"),
+		"legacy trunc": []byte("SLGR\x01"),
+	}
+	for name, data := range cases {
+		if _, err := slug.ReadFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt envelope accepted", name)
+		}
+	}
+}
+
+// TestUnknownAlgorithm checks Get's chainable error stub and Lookup.
+func TestUnknownAlgorithm(t *testing.T) {
+	s := slug.Get("nope")
+	if s.Name() != "nope" {
+		t.Fatalf("stub name = %q", s.Name())
+	}
+	if _, err := s.Summarize(context.Background(), testGraph()); err == nil {
+		t.Fatal("unknown algorithm did not error")
+	}
+	if _, ok := slug.Lookup("nope"); ok {
+		t.Fatal("Lookup found unregistered algorithm")
+	}
+	if _, ok := slug.Lookup("slugger"); !ok {
+		t.Fatal("Lookup missed slugger")
+	}
+}
+
+// TestCancelledContextReturnsPromptly runs every algorithm with an
+// already-cancelled context: each must return ctx.Err() and a nil
+// artifact without doing the build.
+func TestCancelledContextReturnsPromptly(t *testing.T) {
+	g := testGraph()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range slug.Algorithms() {
+		start := time.Now()
+		art, err := slug.Get(name).Summarize(ctx, g, slug.WithIterations(20))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if art != nil {
+			t.Errorf("%s: returned artifact despite cancellation", name)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Errorf("%s: cancelled build still took %s", name, el)
+		}
+	}
+}
+
+// TestCancellationMidMerge cancels SLUGGER from inside its first
+// iteration's progress callback and asserts the build stops before the
+// second iteration, with parallel workers drained (no goroutine leak).
+func TestCancellationMidMerge(t *testing.T) {
+	g := graph.Caveman(8, 10, 12, 1)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	maxStep := 0
+	art, err := slug.Get("slugger").Summarize(ctx, g,
+		slug.WithIterations(10),
+		slug.WithWorkers(4),
+		slug.WithProgress(func(ev slug.Event) {
+			if int(ev.Step) > maxStep {
+				maxStep = ev.Step
+			}
+			if ev.Stage == slug.StageIteration && ev.Step == 1 {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if art != nil {
+		t.Fatal("cancelled build returned an artifact")
+	}
+	if maxStep > 1 {
+		t.Fatalf("events continued after cancellation: max step %d", maxStep)
+	}
+
+	// All merge workers must have drained; allow the runtime a moment to
+	// retire finished goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProgressEventOrdering asserts the documented event protocol for
+// every algorithm that emits iteration events: strictly increasing
+// steps, consistent totals, and exactly one StageDone event last, whose
+// cost matches the artifact.
+func TestProgressEventOrdering(t *testing.T) {
+	g := testGraph()
+	for _, name := range slug.Algorithms() {
+		t.Run(name, func(t *testing.T) {
+			var events []slug.Event
+			art, err := slug.Get(name).Summarize(context.Background(), g,
+				slug.WithIterations(6), slug.WithSeed(3),
+				slug.WithProgress(func(ev slug.Event) { events = append(events, ev) }))
+			if err != nil {
+				t.Fatalf("Summarize: %v", err)
+			}
+			if len(events) == 0 {
+				t.Fatal("no events delivered")
+			}
+			last := events[len(events)-1]
+			if last.Stage != slug.StageDone {
+				t.Fatalf("last event stage = %q, want done", last.Stage)
+			}
+			if last.Cost != art.Cost() {
+				t.Fatalf("done event cost = %d, artifact cost = %d", last.Cost, art.Cost())
+			}
+			prevStep := 0
+			for _, ev := range events[:len(events)-1] {
+				if ev.Stage != slug.StageIteration {
+					t.Fatalf("non-final event stage = %q", ev.Stage)
+				}
+				if ev.Algorithm != name {
+					t.Fatalf("event algorithm = %q, want %q", ev.Algorithm, name)
+				}
+				if ev.Step <= prevStep {
+					t.Fatalf("steps not strictly increasing: %d after %d", ev.Step, prevStep)
+				}
+				if ev.Total > 0 && ev.Step > ev.Total {
+					t.Fatalf("step %d exceeds total %d", ev.Step, ev.Total)
+				}
+				prevStep = ev.Step
+			}
+		})
+	}
+}
+
+// TestSluggerMatchesDirectCall pins the zero-overhead contract: the
+// unified API must produce the identical summary (cost and structure)
+// as calling internal/core directly with the same parameters.
+func TestSluggerMatchesDirectCall(t *testing.T) {
+	g := testGraph()
+	direct, _ := core.Summarize(g, core.Config{T: 8, Hb: 5, Seed: 11, Workers: 2})
+	art, err := slug.Get("slugger").Summarize(context.Background(), g,
+		slug.WithIterations(8), slug.WithHeightBound(5), slug.WithSeed(11), slug.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := art.(*slug.Hierarchical)
+	if !ok {
+		t.Fatalf("slugger artifact type %T, want *slug.Hierarchical", art)
+	}
+	if h.Summary.Cost() != direct.Cost() {
+		t.Fatalf("API cost %d != direct cost %d", h.Summary.Cost(), direct.Cost())
+	}
+	var a, b bytes.Buffer
+	if _, err := h.Summary.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := direct.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("API summary differs byte-for-byte from direct core.Summarize")
+	}
+}
+
+// TestFlatQueryableCostParity checks the flat->hierarchical conversion
+// preserves the encoding cost, so serving a baseline artifact reports
+// the same model sizes the build did.
+func TestFlatQueryableCostParity(t *testing.T) {
+	g := testGraph()
+	art, err := slug.Get("sweg").Summarize(context.Background(), g,
+		slug.WithIterations(5), slug.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := art.(*slug.Flat)
+	cs, err := f.Queryable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(cs.Decode(), g) {
+		t.Fatal("compiled baseline artifact decodes to a different graph")
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_2.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_3.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -9,13 +9,15 @@
 #   BENCHTIME_E2E   go-test benchtime for the end-to-end benchmark (default 3x)
 #   BENCHTIME_MICRO go-test benchtime for the microbenchmarks (default 5000x)
 #   BENCHTIME_QUERY go-test benchtime for the query-path benchmarks (default 20000x)
+#   BENCHTIME_API   go-test benchtime for the public-API overhead pair (default 5x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_2.json}
+OUT=${1:-BENCH_3.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
+API=${BENCHTIME_API:-5x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -35,6 +37,10 @@ go test -run '^$' -bench 'BenchmarkCompiledNeighborsOf$|BenchmarkCompiledHasEdge
 go test -run '^$' -bench 'BenchmarkPageRankOnSummary$' -benchmem \
   -benchtime 50x -timeout 20m . | tee -a "$TMP/query.txt"
 
+echo "== public API overhead: slug.Get vs direct core.Summarize (benchtime=$API) =="
+go test -run '^$' -bench 'BenchmarkDirectSlugger$|BenchmarkAPISlugger$' -benchmem \
+  -benchtime "$API" -timeout 20m ./pkg/slug | tee "$TMP/api.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -43,7 +49,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -74,7 +80,10 @@ doc = {
              "recording environments workers>1 measures scheduling overhead "
              "only (outputs are byte-identical for any worker count). "
              "Query-path benchmarks run on one context; concurrent-reader "
-             "scaling is covered by BenchmarkCompiledNeighborsParallel."),
+             "scaling is covered by BenchmarkCompiledNeighborsParallel. "
+             "BenchmarkAPISlugger vs BenchmarkDirectSlugger is the unified "
+             "pkg/slug wrapper-overhead check: the pair runs the identical "
+             "SLUGGER configuration and must agree within noise."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
