@@ -11,6 +11,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"testing"
 
 	"repro/internal/algos"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/model"
 )
 
 // benchOpt returns experiment options sized for benchmarking.
@@ -249,6 +251,78 @@ func BenchmarkLossyExtension(b *testing.B) {
 		rows := experiments.Lossy(opt, "PR")
 		b.ReportMetric(rows[0].RelativeSize, "rel-size-eps0")
 		b.ReportMetric(rows[len(rows)-1].RelativeSize, "rel-size-eps1")
+	}
+}
+
+// updateBatch builds one batch of 100 random edge toggles (insert if
+// absent, delete if present) over g, plus its exact inverse.
+func updateBatch(g *graph.Graph, seed int64) (fwd, rev []model.EdgeUpdate) {
+	rng := rand.New(rand.NewSource(seed))
+	n := int32(g.NumNodes())
+	seen := make(map[[2]int32]bool)
+	for len(fwd) < 100 {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int32{a, b}] {
+			continue
+		}
+		seen[[2]int32{a, b}] = true
+		del := g.HasEdge(u, v)
+		fwd = append(fwd, model.EdgeUpdate{U: u, V: v, Delete: del})
+		rev = append(rev, model.EdgeUpdate{U: u, V: v, Delete: !del})
+	}
+	return fwd, rev
+}
+
+// BenchmarkUpdateOverlayApply measures absorbing edge mutations into
+// the delta overlay of a live summary: one op applies a batch of 100
+// updates and then its inverse (so the overlay returns to steady state
+// and ns/op stays comparable across b.N). This is the incremental
+// alternative to re-summarizing, tracked against
+// BenchmarkUpdateFullRebuild — the ISSUE-4 acceptance bar is >=10x
+// faster per absorbed batch.
+func BenchmarkUpdateOverlayApply(b *testing.B) {
+	spec, _ := datasets.ByName("FA")
+	g := spec.Generate(0.2, 7)
+	sum, _ := core.Summarize(g, core.Config{T: 10, Seed: 7})
+	l := model.NewLive(sum.Compile())
+	fwd, rev := updateBatch(g, 1)
+	b.ReportMetric(200, "updates/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ApplyUpdates(fwd); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.ApplyUpdates(rev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUpdateFullRebuild measures the batch-only alternative the
+// overlay replaces: absorbing the same 100-update batch by mutating the
+// graph and re-running summarize+compile from scratch.
+func BenchmarkUpdateFullRebuild(b *testing.B) {
+	spec, _ := datasets.ByName("FA")
+	g := spec.Generate(0.2, 7)
+	sum, _ := core.Summarize(g, core.Config{T: 10, Seed: 7})
+	fwd, _ := updateBatch(g, 1)
+	mutated, _, err := model.NewOverlay(sum.Compile()).Apply(fwd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mg := mutated.Decode()
+	b.ReportMetric(100, "updates/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := core.Summarize(mg, core.Config{T: 10, Seed: 7})
+		s.Compile()
 	}
 }
 

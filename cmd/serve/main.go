@@ -6,18 +6,30 @@
 //
 // Usage:
 //
-//	serve -summary out.slga [-addr :8080]
+//	serve -summary out.slga [-addr :8080] [-mutable [-compact 10000]]
 //	serve -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-workers 4] [-addr :8080]
 //
 // Builds route through the unified pkg/slug API, so every algorithm's
 // output can be served and all build knobs (-t, -hb, -seed, -workers)
-// reach the summarizer. Endpoints:
+// reach the summarizer. With -mutable the served summary is live: POST
+// /update applies edge insertions/deletions to a delta overlay without
+// recompiling, and once the overlay reaches -compact corrections a
+// background re-summarize swaps in a fresh base. Compaction rebuilds
+// use the same -t/-hb/-seed/-workers knobs — when serving a loaded
+// -summary artifact mutably, pass the flags it was originally built
+// with, or the first compaction re-summarizes under the defaults.
+// Endpoints:
 //
-//	GET /healthz
-//	GET /stats
-//	GET /neighbors?v=3          (or v=3,7,9 for a batch)
-//	GET /hasedge?u=1&v=2
-//	GET /pagerank?d=0.85&t=20&top=10
+//	GET  /healthz
+//	GET  /stats
+//	GET  /neighbors?v=3          (or v=3,7,9 for a batch)
+//	POST /neighbors              ({"v":[3,7,9]} JSON batch)
+//	GET  /hasedge?u=1&v=2
+//	GET  /pagerank?d=0.85&t=20&top=10
+//	POST /update                 ({"u":1,"v":2,"delete":false} or {"updates":[...]})
+//
+// SIGINT/SIGTERM drain in-flight requests through a graceful shutdown
+// instead of killing them.
 package main
 
 import (
@@ -28,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/graph"
@@ -43,13 +56,34 @@ func main() {
 		summary = flag.String("summary", "", "saved artifact file to serve (from slugger -save)")
 		in      = flag.String("in", "", "edge-list file to summarize and serve")
 		algo    = flag.String("algo", "slugger", "summarization algorithm when summarizing -in: "+strings.Join(slug.Algorithms(), ", "))
-		t       = flag.Int("t", 20, "merging iterations T when summarizing -in (slugger, sweg)")
-		hb      = flag.Int("hb", 0, "height bound Hb when summarizing -in, 0 = unbounded (slugger)")
-		seed    = flag.Int64("seed", 0, "random seed when summarizing -in")
-		workers = flag.Int("workers", 1, "group-scheduler worker pool size when summarizing -in")
+		t       = flag.Int("t", 20, "merging iterations T when summarizing -in, and for -mutable compaction rebuilds (slugger, sweg)")
+		hb      = flag.Int("hb", 0, "height bound Hb when summarizing -in and for -mutable compaction rebuilds, 0 = unbounded (slugger)")
+		seed    = flag.Int64("seed", 0, "random seed when summarizing -in and for -mutable compaction rebuilds")
+		workers = flag.Int("workers", 1, "group-scheduler worker pool size when summarizing -in and for -mutable compaction rebuilds")
+		mutable = flag.Bool("mutable", false, "accept live edge updates via POST /update")
+		compact = flag.Int("compact", 10000, "with -mutable: overlay corrections that trigger a background re-summarize (0 = never: the overlay then grows without bound and per-update cost grows with it; pair with manual offline compaction)")
 		addr    = flag.String("addr", ":8080", "listen address")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels a running build and gracefully drains the
+	// server once it is listening. After the first signal the handler is
+	// deregistered, so a second Ctrl-C force-kills a stuck drain instead
+	// of being swallowed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	opts := []slug.Option{
+		slug.WithIterations(*t),
+		slug.WithHeightBound(*hb),
+		slug.WithSeed(*seed),
+		slug.WithWorkers(*workers),
+		slug.WithCompactionThreshold(*compact),
+	}
 
 	var art slug.Artifact
 	switch {
@@ -65,15 +99,8 @@ func main() {
 			log.Fatalf("loading %s: %v", *in, err)
 		}
 		fmt.Printf("input: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
-		// Ctrl-C during the build cancels it promptly.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		start := time.Now()
-		a, err := slug.Get(*algo).Summarize(ctx, g,
-			slug.WithIterations(*t),
-			slug.WithHeightBound(*hb),
-			slug.WithSeed(*seed),
-			slug.WithWorkers(*workers))
-		stop()
+		a, err := slug.Get(*algo).Summarize(ctx, g, opts...)
 		if err != nil {
 			log.Fatalf("summarizing with %s: %v", *algo, err)
 		}
@@ -97,8 +124,21 @@ func main() {
 	fmt.Printf("compiled %d vertices / %d supernodes / %d superedges in %s\n",
 		cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
 		time.Since(start).Round(time.Millisecond))
+
+	var srv *serve.Server
+	if *mutable {
+		up, err := slug.NewUpdatable(art, opts...)
+		if err != nil {
+			log.Fatalf("making artifact updatable: %v", err)
+		}
+		srv = serve.NewLive(up.Live())
+		fmt.Printf("mutable: POST /update accepted (compaction threshold %d)\n", *compact)
+	} else {
+		srv = serve.New(cs)
+	}
 	fmt.Printf("listening on %s (algorithm %s)\n", *addr, art.Algorithm())
-	if err := serve.New(cs).WithAlgorithm(art.Algorithm()).ListenAndServe(*addr); err != nil {
+	if err := srv.WithAlgorithm(art.Algorithm()).Run(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Println("shut down cleanly")
 }

@@ -1,0 +1,115 @@
+// Live updates: keep a served summary queryable while the underlying
+// graph changes. A summary artifact is made updatable, edge insertions
+// and deletions land in a delta overlay on the compiled base (no
+// recompiling, readers stay lock-free), and once the overlay grows past
+// the compaction threshold the graph is re-summarized in the background
+// and the fresh base swapped in atomically.
+//
+// Run with:
+//
+//	go run ./examples/updates
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/pkg/slug"
+)
+
+func main() {
+	// A social network snapshot, summarized as usual.
+	g := graph.Caveman(6, 10, 8, 42)
+	fmt.Printf("snapshot: %d people, %d friendships\n", g.NumNodes(), g.NumEdges())
+
+	opts := []slug.Option{
+		slug.WithIterations(10),
+		slug.WithSeed(1),
+		// Once 40 corrections accumulate, re-summarize in the background
+		// and swap in the fresh base. Tune this to taste: a low threshold
+		// keeps queries near base speed but re-summarizes often; a high
+		// one amortizes rebuilds but grows the overlay that every query
+		// consults. 0 disables auto-compaction entirely.
+		slug.WithCompactionThreshold(40),
+	}
+	art, err := slug.Get("slugger").Summarize(context.Background(), g, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Make it live. The options are replayed on every compaction
+	// rebuild, so the maintained artifact stays deterministic.
+	live, err := slug.NewUpdatable(art, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The graph changes: person 0 befriends people in other groups,
+	// and an old friendship breaks up.
+	updates := []model.EdgeUpdate{
+		{U: 0, V: 15},
+		{U: 0, V: 25},
+		{U: 0, V: 35},
+		{U: 0, V: 1, Delete: true},
+	}
+	applied, err := live.ApplyUpdates(updates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\napplied %d/%d updates (no-ops are skipped)\n", applied, len(updates))
+
+	// Queries see the changes immediately, through the overlay. A View
+	// is an immutable snapshot: hold it as long as you like, updates
+	// land in newer snapshots.
+	view := live.View()
+	fmt.Printf("person 0's friends now: %v\n", view.NeighborsOf(0))
+	fmt.Printf("0 and 1 still friends? %v\n", view.HasEdge(0, 1))
+	fmt.Printf("overlay: +%d inserted, -%d deleted edges over the base\n",
+		view.Insertions(), view.Deletions())
+
+	// Keep mutating: enough churn to cross the compaction threshold.
+	var churn []model.EdgeUpdate
+	for v := int32(1); v <= 50; v++ {
+		if v != 30 {
+			churn = append(churn, model.EdgeUpdate{U: 30, V: v, Delete: view.HasEdge(30, v)})
+		}
+	}
+	if _, err := live.ApplyUpdates(churn); err != nil {
+		log.Fatal(err)
+	}
+	live.Live().Quiesce() // wait out the background compaction
+	if err := live.Live().CompactionErr(); err != nil {
+		log.Fatal(err)
+	}
+	st := live.Live().Stats()
+	fmt.Printf("\nafter churn: %d compaction(s), overlay now +%d/-%d (version %d)\n",
+		st.Compactions, st.Insertions, st.Deletions, st.Version)
+
+	// The live summary always represents the mutated graph exactly:
+	// compare against a from-scratch summarize of the same graph.
+	mutated := live.View().Decode()
+	fresh, err := slug.Get("slugger").Summarize(context.Background(), mutated, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !graph.Equal(fresh.Decode(), mutated) {
+		log.Fatal("from-scratch rebuild disagrees") // never happens
+	}
+	fmt.Printf("parity: live view == from-scratch summarize of the mutated graph\n")
+	fmt.Printf("live cost %d vs fresh build cost %d\n", live.Cost(), fresh.Cost())
+
+	// Serialization compacts first, so the written artifact is a
+	// self-contained summary of the live graph.
+	if err := slug.Save("/tmp/live.slga", live); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := slug.Load("/tmp/live.slga")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved and reloaded: algorithm %q, cost %d\n",
+		reloaded.Algorithm(), reloaded.Cost())
+}

@@ -50,3 +50,35 @@ func OnCompiled(cs *model.CompiledSummary) *CompiledSource {
 func OnSummary(s *model.Summary) NeighborSource {
 	return OnCompiled(s.Compile())
 }
+
+// LiveSource adapts one overlay snapshot of a live summary, reusing a
+// single overlay query context for the whole traversal. Like any
+// NeighborSource it is single-goroutine; concurrent traversals each
+// take their own source via OnView. The snapshot is immutable, so a
+// traversal sees one consistent graph even while updates land.
+type LiveSource struct {
+	view *model.DeltaOverlay
+	ctx  *model.OverlayCtx
+}
+
+func (s *LiveSource) NumNodes() int { return s.view.NumNodes() }
+
+// Neighbors returns the live neighbors of v; the result is valid until
+// the next call.
+func (s *LiveSource) Neighbors(v int32) []int32 { return s.ctx.NeighborsOf(v) }
+
+// Release returns the source's query context. Call it when the
+// traversal is done; the source must not be used afterwards.
+func (s *LiveSource) Release() {
+	if s.ctx != nil {
+		s.view.ReleaseCtx(s.ctx)
+		s.ctx = nil
+	}
+}
+
+// OnView adapts an overlay snapshot (from model.Live.View or a bare
+// DeltaOverlay): every Neighbors call runs the base partial
+// decompression and merges the overlay's corrections.
+func OnView(view *model.DeltaOverlay) *LiveSource {
+	return &LiveSource{view: view, ctx: view.AcquireCtx()}
+}

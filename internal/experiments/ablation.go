@@ -79,7 +79,11 @@ func Lossy(opt Options, dataset string) []LossyRow {
 	fmt.Fprintf(opt.Out, "=== Lossy extension on %s (scale=%.2f) ===\n", spec.Name, opt.Scale)
 	fmt.Fprintf(opt.Out, "%8s %14s %12s\n", "eps", "relative size", "pair errors")
 	for _, eps := range []float64{0, 0.1, 0.2, 0.3, 0.5, 1.0} {
-		res := lossy.Sparsify(s, g, eps)
+		res, err := lossy.Sparsify(s, g, eps)
+		if err != nil {
+			fmt.Fprintf(opt.Out, "%8.2f sparsify failed: %v\n", eps, err)
+			continue
+		}
 		pairs, _ := lossy.Error(res.Summary, g)
 		row := LossyRow{
 			Eps:          eps,

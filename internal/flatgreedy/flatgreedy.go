@@ -25,6 +25,7 @@ type Grouping struct {
 	Nbr []map[int32]int64
 
 	dynAdj [][]int32 // incremental adjacency; nil in static mode
+	free   []int32   // released empty group ids, recycled by NewGroup
 	n      int
 }
 
@@ -44,6 +45,26 @@ func New(g *graph.Graph) *Grouping {
 func NewIncremental(n int) *Grouping {
 	gr := newEmpty(n)
 	gr.dynAdj = make([][]int32, n)
+	return gr
+}
+
+// NewFromSummary reconstructs an incremental grouping from an existing
+// flat summary: vertices are placed in their summary groups and the
+// decoded graph is replayed edge by edge, so incremental maintenance
+// (MoSSo-style corrective passes, including deletions) can resume on a
+// previously built artifact instead of starting from singletons.
+func NewFromSummary(s *flat.Summary) *Grouping {
+	gr := NewIncremental(s.N)
+	for _, members := range s.Groups {
+		if len(members) < 2 {
+			continue
+		}
+		lead := gr.GroupOf[members[0]]
+		for _, v := range members[1:] {
+			gr.MoveVertex(v, lead)
+		}
+	}
+	s.Decode().ForEachEdge(gr.AddEdge)
 	return gr
 }
 
@@ -74,6 +95,56 @@ func (gr *Grouping) AddEdge(u, v int32) {
 	gr.dynAdj[u] = append(gr.dynAdj[u], v)
 	gr.dynAdj[v] = append(gr.dynAdj[v], u)
 	gr.addPair(gr.GroupOf[u], gr.GroupOf[v], 1)
+}
+
+// RemoveEdge removes one occurrence of the undirected edge {u, v} from
+// an incremental grouping, updating the supernode-pair subedge counts.
+// It reports whether the edge was present (removing an absent edge is a
+// no-op). Panics in static mode.
+func (gr *Grouping) RemoveEdge(u, v int32) bool {
+	if gr.dynAdj == nil {
+		panic("flatgreedy: RemoveEdge requires NewIncremental")
+	}
+	if u == v || !removeFromAdj(gr.dynAdj, u, v) {
+		return false
+	}
+	removeFromAdj(gr.dynAdj, v, u)
+	gr.addPair(gr.GroupOf[u], gr.GroupOf[v], -1)
+	return true
+}
+
+// removeFromAdj deletes one occurrence of w from adj[u] (swap-remove).
+func removeFromAdj(adj [][]int32, u, w int32) bool {
+	a := adj[u]
+	for i, x := range a {
+		if x == w {
+			a[i] = a[len(a)-1]
+			adj[u] = a[:len(a)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// HasEdge reports whether the current graph contains the edge {u, v}.
+func (gr *Grouping) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if gr.dynAdj == nil {
+		return gr.G.HasEdge(u, v)
+	}
+	// Scan the smaller adjacency (incremental lists are unsorted).
+	a, w := gr.dynAdj[u], v
+	if len(gr.dynAdj[v]) < len(a) {
+		a, w = gr.dynAdj[v], u
+	}
+	for _, x := range a {
+		if x == w {
+			return true
+		}
+	}
+	return false
 }
 
 // Neighbors returns the current adjacency of v (static or incremental).
@@ -265,12 +336,34 @@ func (gr *Grouping) MoveVertex(v, to int32) {
 	}
 }
 
-// NewGroup allocates a fresh empty group and returns its id.
+// NewGroup returns an empty group id: a recycled one from ReleaseGroup
+// when available, else a freshly allocated slot.
 func (gr *Grouping) NewGroup() int32 {
+	if n := len(gr.free); n > 0 {
+		id := gr.free[n-1]
+		gr.free = gr.free[:n-1]
+		return id
+	}
 	id := int32(len(gr.Members))
 	gr.Members = append(gr.Members, []int32{})
 	gr.Nbr = append(gr.Nbr, make(map[int32]int64))
 	return id
+}
+
+// ReleaseGroup returns an empty group id to the free list for reuse by
+// NewGroup — without it, long dynamic streams whose speculative escape
+// proposals get reverted would grow Members/Nbr without bound. Panics
+// if the group still has members or subedge counts.
+func (gr *Grouping) ReleaseGroup(id int32) {
+	if len(gr.Members[id]) != 0 || len(gr.Nbr[id]) != 0 {
+		panic("flatgreedy: ReleaseGroup of a non-empty group")
+	}
+	if gr.Nbr[id] == nil {
+		// Groups killed by Merge have a nil count map; make the slot
+		// reusable by NewGroup callers, which expect a live map.
+		gr.Nbr[id] = make(map[int32]int64)
+	}
+	gr.free = append(gr.free, id)
 }
 
 // Encode produces the optimal flat summary of the current grouping

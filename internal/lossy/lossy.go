@@ -10,6 +10,9 @@
 package lossy
 
 import (
+	"fmt"
+	"math"
+
 	"repro/internal/flat"
 	"repro/internal/graph"
 )
@@ -27,8 +30,14 @@ type Result struct {
 // Sparsify drops correction edges from a lossless flat summary of g
 // while keeping every vertex's neighborhood error within eps*deg(v)
 // (rounded down). eps = 0 returns the summary unchanged. The input
-// summary is not modified.
-func Sparsify(s *flat.Summary, g *graph.Graph, eps float64) Result {
+// summary is not modified. eps must be a finite, non-negative number:
+// NaN, infinities and negative values are rejected (a NaN eps would
+// silently produce zero budgets and negative values nonsense ones,
+// rather than an obviously wrong result).
+func Sparsify(s *flat.Summary, g *graph.Graph, eps float64) (Result, error) {
+	if math.IsNaN(eps) || math.IsInf(eps, 0) || eps < 0 {
+		return Result{}, fmt.Errorf("lossy: eps must be a finite non-negative number, got %v", eps)
+	}
 	budget := make([]int, g.NumNodes())
 	for v := range budget {
 		budget[v] = int(eps * float64(g.Degree(int32(v))))
@@ -70,7 +79,7 @@ func Sparsify(s *flat.Summary, g *graph.Graph, eps float64) Result {
 			res.MaxError = u
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Error measures the realized neighborhood error of a (possibly lossy)

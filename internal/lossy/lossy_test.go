@@ -1,6 +1,7 @@
 package lossy
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -13,7 +14,10 @@ import (
 func TestEpsZeroIsLossless(t *testing.T) {
 	g := graph.Caveman(4, 6, 3, 1)
 	s := sweg.Summarize(g, 1, sweg.Config{T: 5})
-	res := Sparsify(s, g, 0)
+	res, err := Sparsify(s, g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.DroppedCPlus != 0 || res.DroppedCMinus != 0 {
 		t.Fatal("eps=0 must not drop anything")
 	}
@@ -30,7 +34,10 @@ func TestSparsifyReducesSize(t *testing.T) {
 	if len(s.CPlus)+len(s.CMinus) == 0 {
 		t.Skip("no corrections to drop on this instance")
 	}
-	res := Sparsify(s, g, 0.5)
+	res, err := Sparsify(s, g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.DroppedCPlus+res.DroppedCMinus == 0 {
 		t.Fatal("eps=0.5 dropped nothing despite corrections existing")
 	}
@@ -45,7 +52,10 @@ func TestErrorBoundRespected(t *testing.T) {
 		g := graph.ErdosRenyi(20+rng.Intn(30), 60+rng.Intn(80), seed)
 		s := sweg.Summarize(g, seed, sweg.Config{T: 5})
 		eps := 0.3
-		res := Sparsify(s, g, eps)
+		res, err := Sparsify(s, g, eps)
+		if err != nil {
+			return false
+		}
 		_, maxErr := Error(res.Summary, g)
 		// Every vertex's realized error must stay within its budget.
 		for v := 0; v < g.NumNodes(); v++ {
@@ -80,10 +90,24 @@ func TestMonotoneInEpsilon(t *testing.T) {
 	s := sweg.Summarize(g, 4, sweg.Config{T: 10})
 	prev := s.Cost()
 	for _, eps := range []float64{0.1, 0.3, 0.6, 1.0} {
-		c := Sparsify(s, g, eps).Summary.Cost()
+		res, err := Sparsify(s, g, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Summary.Cost()
 		if c > prev {
 			t.Fatalf("cost increased at eps=%.1f: %d -> %d", eps, prev, c)
 		}
 		prev = c
+	}
+}
+
+func TestSparsifyRejectsInvalidEps(t *testing.T) {
+	g := graph.Caveman(3, 5, 2, 1)
+	s := sweg.Summarize(g, 1, sweg.Config{T: 3})
+	for _, eps := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, -100} {
+		if _, err := Sparsify(s, g, eps); err == nil {
+			t.Fatalf("Sparsify accepted eps=%v", eps)
+		}
 	}
 }

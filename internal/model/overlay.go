@@ -1,0 +1,532 @@
+package model
+
+// This file implements incremental maintenance of a served summary: a
+// DeltaOverlay absorbs edge insertions and deletions as positive and
+// negative correction entries on top of an immutable CompiledSummary,
+// so the represented graph can change without recompiling. Queries
+// consult the overlay first and fall through to the CSR engine, and a
+// Live container publishes overlay snapshots through an atomic pointer,
+// keeping readers lock-free while writers apply update batches and a
+// background compaction re-summarizes and swaps in a fresh base.
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// EdgeUpdate is one edge mutation of the represented graph: an
+// insertion (Delete false) or a deletion (Delete true) of the
+// undirected edge {U, V}.
+type EdgeUpdate struct {
+	U, V   int32
+	Delete bool
+}
+
+// DeltaOverlay is an immutable snapshot of edge corrections relative to
+// a compiled base summary: +1 entries are edges present in the live
+// graph but absent from the base, -1 entries the reverse. A nil/empty
+// adjacency means the overlay represents exactly the base. Snapshots
+// are safe for any number of concurrent readers; Apply returns a new
+// snapshot and never mutates its receiver.
+type DeltaOverlay struct {
+	cs *CompiledSummary
+	// adj[v][u] = +1 (edge {v,u} inserted over the base) or -1 (deleted
+	// from the base); entries exist only where the live graph differs
+	// from the base, symmetrically for both endpoints.
+	adj     map[int32]map[int32]int8
+	plus    int    // inserted pairs
+	minus   int    // deleted pairs
+	version uint64 // bumped on every published snapshot
+}
+
+// NewOverlay returns the empty overlay over cs: it represents exactly
+// the base's graph.
+func NewOverlay(cs *CompiledSummary) *DeltaOverlay {
+	return &DeltaOverlay{cs: cs}
+}
+
+// Base returns the compiled summary the overlay corrects.
+func (o *DeltaOverlay) Base() *CompiledSummary { return o.cs }
+
+// NumNodes returns the number of leaf vertices (fixed across updates:
+// the overlay mutates edges, not the vertex set).
+func (o *DeltaOverlay) NumNodes() int { return o.cs.n }
+
+// Insertions returns the number of edges present over the base.
+func (o *DeltaOverlay) Insertions() int { return o.plus }
+
+// Deletions returns the number of base edges masked out.
+func (o *DeltaOverlay) Deletions() int { return o.minus }
+
+// Len returns the total number of correction entries (pairs where the
+// live graph differs from the base).
+func (o *DeltaOverlay) Len() int { return o.plus + o.minus }
+
+// Version returns the snapshot's monotonically increasing version.
+func (o *DeltaOverlay) Version() uint64 { return o.version }
+
+// Apply returns a new overlay with ups applied on top of o, together
+// with the number of effective updates (inserting a present edge or
+// deleting an absent one is a no-op, so replaying a stream is
+// idempotent). The receiver is unchanged. Out-of-range endpoints and
+// self-loops are rejected before anything is applied.
+func (o *DeltaOverlay) Apply(ups []EdgeUpdate) (*DeltaOverlay, int, error) {
+	n := int32(o.cs.n)
+	for _, up := range ups {
+		if up.U < 0 || up.U >= n || up.V < 0 || up.V >= n {
+			return nil, 0, fmt.Errorf("model: update endpoint (%d,%d) out of range [0,%d)", up.U, up.V, n)
+		}
+		if up.U == up.V {
+			return nil, 0, fmt.Errorf("model: self-loop update on vertex %d", up.U)
+		}
+	}
+	nxt := &DeltaOverlay{cs: o.cs, plus: o.plus, minus: o.minus, version: o.version + 1}
+	if len(ups) == 0 {
+		nxt.adj = o.adj
+		return nxt, 0, nil
+	}
+	// Copy-on-write: share inner maps with o, cloning each vertex's map
+	// the first time this batch writes to it. The outer copy is O(|Δ|)
+	// per batch — bounded by the compaction threshold; with compaction
+	// disabled it grows with the overlay, so unbounded-overlay callers
+	// should batch updates and compact manually.
+	nxt.adj = make(map[int32]map[int32]int8, len(o.adj)+4)
+	for v, m := range o.adj {
+		nxt.adj[v] = m
+	}
+	cloned := make(map[int32]bool, 8)
+	inner := func(v int32) map[int32]int8 {
+		m := nxt.adj[v]
+		switch {
+		case m == nil:
+			m = make(map[int32]int8, 2)
+			nxt.adj[v] = m
+			cloned[v] = true
+		case !cloned[v]:
+			c := make(map[int32]int8, len(m)+1)
+			for k, s := range m {
+				c[k] = s
+			}
+			m = c
+			nxt.adj[v] = m
+			cloned[v] = true
+		}
+		return m
+	}
+	set := func(u, v int32, s int8) {
+		inner(u)[v] = s
+		inner(v)[u] = s
+	}
+	del := func(u, v int32) {
+		mu, mv := inner(u), inner(v)
+		delete(mu, v)
+		delete(mv, u)
+		if len(mu) == 0 {
+			delete(nxt.adj, u)
+		}
+		if len(mv) == 0 {
+			delete(nxt.adj, v)
+		}
+	}
+	qc := o.cs.AcquireCtx()
+	defer o.cs.ReleaseCtx(qc)
+	applied := 0
+	for _, up := range ups {
+		u, v := up.U, up.V
+		var cur int8
+		if m := nxt.adj[u]; m != nil {
+			cur = m[v]
+		}
+		var present bool
+		switch cur {
+		case 1:
+			present = true
+		case -1:
+			present = false
+		default:
+			present = qc.HasEdge(u, v)
+		}
+		if up.Delete != present {
+			continue // no-op: already in the requested state
+		}
+		applied++
+		if up.Delete {
+			if cur == 1 {
+				del(u, v) // un-insert
+				nxt.plus--
+			} else {
+				set(u, v, -1) // mask a base edge
+				nxt.minus++
+			}
+		} else {
+			if cur == -1 {
+				del(u, v) // un-delete
+				nxt.minus--
+			} else {
+				set(u, v, 1) // add over the base
+				nxt.plus++
+			}
+		}
+	}
+	return nxt, applied, nil
+}
+
+// OverlayCtx is the per-goroutine query context for an overlay
+// snapshot: a base QueryCtx plus a merge buffer. Like QueryCtx it is
+// not safe for concurrent use; acquire one per goroutine or traversal.
+type OverlayCtx struct {
+	o   *DeltaOverlay
+	qc  *QueryCtx
+	buf []int32
+}
+
+// AcquireCtx borrows a query context for this snapshot (the base
+// context comes from the compiled summary's pool). Release it with
+// ReleaseCtx.
+func (o *DeltaOverlay) AcquireCtx() *OverlayCtx {
+	return &OverlayCtx{o: o, qc: o.cs.AcquireCtx()}
+}
+
+// ReleaseCtx returns the context's base resources to the pool. The
+// context must not be used afterwards.
+func (o *DeltaOverlay) ReleaseCtx(c *OverlayCtx) {
+	if c.qc != nil {
+		o.cs.ReleaseCtx(c.qc)
+		c.qc = nil
+	}
+}
+
+// NeighborsOf returns the sorted neighbors of leaf v in the live graph:
+// the base decompression (Algorithm 4) filtered and extended by the
+// overlay's corrections for v. The result aliases the context's buffer
+// and is valid until the next call; copy it to retain it.
+func (c *OverlayCtx) NeighborsOf(v int32) []int32 {
+	base := c.qc.NeighborsOf(v)
+	dm := c.o.adj[v]
+	if len(dm) == 0 {
+		return base
+	}
+	c.buf = c.buf[:0]
+	for _, u := range base {
+		if dm[u] >= 0 {
+			c.buf = append(c.buf, u)
+		}
+	}
+	for u, s := range dm {
+		if s > 0 {
+			c.buf = append(c.buf, u)
+		}
+	}
+	slices.Sort(c.buf)
+	return c.buf
+}
+
+// HasEdge reports whether the live graph contains {u,v}: the overlay
+// answers when it has a correction for the pair, the base point query
+// otherwise.
+func (c *OverlayCtx) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if dm := c.o.adj[u]; dm != nil {
+		if s := dm[v]; s != 0 {
+			return s > 0
+		}
+	}
+	return c.qc.HasEdge(u, v)
+}
+
+// HasEdge is the context-free convenience form. Safe for concurrent
+// callers.
+func (o *DeltaOverlay) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if dm := o.adj[u]; dm != nil {
+		if s := dm[v]; s != 0 {
+			return s > 0
+		}
+	}
+	return o.cs.HasEdge(u, v)
+}
+
+// NeighborsOf is the context-free convenience form: it returns a
+// freshly allocated copy, safe to retain. Safe for concurrent callers.
+func (o *DeltaOverlay) NeighborsOf(v int32) []int32 {
+	c := o.AcquireCtx()
+	out := slices.Clone(c.NeighborsOf(v))
+	o.ReleaseCtx(c)
+	return out
+}
+
+// NeighborsBatch decompresses the live neighborhoods of vs in order
+// through one context, invoking visit with each vertex and its sorted
+// neighbors. The nbrs slice is only valid during the callback.
+func (o *DeltaOverlay) NeighborsBatch(vs []int32, visit func(v int32, nbrs []int32)) {
+	c := o.AcquireCtx()
+	defer o.ReleaseCtx(c)
+	for _, v := range vs {
+		visit(v, c.NeighborsOf(v))
+	}
+}
+
+// Decode materializes the live graph (base graph with all overlay
+// corrections applied).
+func (o *DeltaOverlay) Decode() *graph.Graph {
+	b := graph.NewBuilder(o.cs.n)
+	c := o.AcquireCtx()
+	defer o.ReleaseCtx(c)
+	for v := int32(0); v < int32(o.cs.n); v++ {
+		for _, u := range c.NeighborsOf(v) {
+			if u > v {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RebuildFunc re-summarizes a materialized graph into a fresh compiled
+// summary; Live's compaction calls it off the writer lock. The
+// summarization algorithm is injected (typically via pkg/slug) so the
+// model package stays independent of the summarizers.
+type RebuildFunc func(g *graph.Graph) (*CompiledSummary, error)
+
+// LiveStats is a point-in-time snapshot of a Live summary's state.
+type LiveStats struct {
+	Nodes       int
+	Supernodes  int // of the current base
+	Superedges  int // of the current base
+	Insertions  int // overlay +1 entries
+	Deletions   int // overlay -1 entries
+	Version     uint64
+	Applied     uint64 // effective updates since creation
+	Compactions uint64 // completed compactions
+	Threshold   int    // auto-compaction trigger, 0 = manual only
+	Compacting  bool   // a background compaction is in flight
+	LastError   string // most recent compaction failure, "" after success
+}
+
+// Live maintains a summary that stays queryable while the underlying
+// graph changes: readers take lock-free snapshots via View, writers
+// batch mutations through ApplyUpdates, and once the overlay reaches
+// the compaction threshold a background goroutine re-summarizes the
+// live graph and atomically swaps in the fresh compiled base (updates
+// that arrive mid-compaction are journaled and replayed onto the new
+// base, so none are lost).
+type Live struct {
+	cur atomic.Pointer[DeltaOverlay]
+
+	mu          sync.Mutex
+	rebuild     RebuildFunc
+	onCompacted func()
+	threshold   int
+
+	logging     bool         // journal updates for an in-flight compaction
+	log         []EdgeUpdate // updates applied since the compaction captured its view
+	compacting  bool
+	compactDone chan struct{}
+
+	applied     uint64
+	compactions uint64
+	lastErr     error // most recent compaction failure, nil after success
+	failedAt    int   // overlay size at the last failure (retry backoff), 0 after success
+}
+
+// NewLive wraps a compiled summary for incremental maintenance. With no
+// rebuild function the overlay grows without bound (compaction
+// disabled); configure one with SetRebuild.
+func NewLive(cs *CompiledSummary) *Live {
+	l := &Live{}
+	l.cur.Store(NewOverlay(cs))
+	return l
+}
+
+// SetRebuild installs the re-summarization used by compaction.
+func (l *Live) SetRebuild(fn RebuildFunc) {
+	l.mu.Lock()
+	l.rebuild = fn
+	l.mu.Unlock()
+}
+
+// SetOnCompacted installs a hook invoked immediately after a successful
+// compaction commits its base swap, atomically with the swap (the
+// internal lock is held): rebuild-side state staged by the RebuildFunc
+// can be published here without a window where it disagrees with the
+// served base. The hook must be fast and must not call back into l.
+func (l *Live) SetOnCompacted(fn func()) {
+	l.mu.Lock()
+	l.onCompacted = fn
+	l.mu.Unlock()
+}
+
+// SetCompactionThreshold sets the overlay size at which ApplyUpdates
+// triggers a background compaction (0 disables auto-compaction).
+func (l *Live) SetCompactionThreshold(n int) {
+	l.mu.Lock()
+	l.threshold = n
+	l.mu.Unlock()
+}
+
+// View returns the current snapshot. Lock-free; the snapshot stays
+// valid (and immutable) for as long as the caller holds it, even across
+// concurrent updates and compactions.
+func (l *Live) View() *DeltaOverlay { return l.cur.Load() }
+
+// ApplyUpdates applies a batch of edge mutations and publishes the new
+// snapshot, returning the number of effective updates. Invalid updates
+// (out-of-range endpoints, self-loops) reject the whole batch. When the
+// overlay reaches the compaction threshold a background compaction is
+// started (at most one at a time).
+func (l *Live) ApplyUpdates(ups []EdgeUpdate) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	nxt, applied, err := l.cur.Load().Apply(ups)
+	if err != nil {
+		return 0, err
+	}
+	if applied > 0 {
+		l.cur.Store(nxt)
+		l.applied += uint64(applied)
+		if l.logging {
+			l.log = append(l.log, ups...)
+		}
+	}
+	if l.threshold > 0 && l.rebuild != nil && !l.compacting &&
+		l.cur.Load().Len() >= l.threshold+l.failedAt {
+		view, rebuild := l.beginCompactionLocked()
+		go l.runCompaction(view, rebuild)
+	}
+	return applied, nil
+}
+
+// beginCompactionLocked marks a compaction in flight and returns the
+// view it will rebuild from together with the rebuild function (read
+// under the lock: SetRebuild may race the background goroutine
+// otherwise). Caller must hold l.mu.
+func (l *Live) beginCompactionLocked() (*DeltaOverlay, RebuildFunc) {
+	l.compacting = true
+	l.logging = true
+	l.log = nil
+	l.compactDone = make(chan struct{})
+	return l.cur.Load(), l.rebuild
+}
+
+// runCompaction materializes the captured view, re-summarizes it, and
+// swaps in the fresh base with the journaled updates replayed on top.
+func (l *Live) runCompaction(view *DeltaOverlay, rebuild RebuildFunc) {
+	g := view.Decode()
+	cs, err := rebuild(g)
+	if err == nil && cs.n != view.cs.n {
+		err = fmt.Errorf("model: compaction rebuilt %d vertices, want %d", cs.n, view.cs.n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	defer close(l.compactDone)
+	log := l.log
+	l.log = nil
+	l.logging = false
+	l.compacting = false
+	if err != nil {
+		// Back off: don't retry on every subsequent batch (each attempt
+		// is a full re-summarize) — require another threshold's worth of
+		// overlay growth first.
+		l.lastErr = err
+		l.failedAt = l.cur.Load().Len()
+		return
+	}
+	fresh := NewOverlay(cs)
+	fresh.version = l.cur.Load().version // Apply bumps it
+	nxt, _, err := fresh.Apply(log)
+	if err != nil {
+		// Unreachable: every journaled update was validated when first
+		// applied, and validity doesn't depend on the base.
+		l.lastErr = err
+		return
+	}
+	l.cur.Store(nxt)
+	l.compactions++
+	l.lastErr = nil
+	l.failedAt = 0
+	if l.onCompacted != nil {
+		l.onCompacted()
+	}
+}
+
+// Compact synchronously re-summarizes the live graph and swaps in the
+// fresh base. It first waits out any in-flight background compaction;
+// if the overlay is empty afterwards it returns immediately.
+func (l *Live) Compact() error {
+	for {
+		l.mu.Lock()
+		if !l.compacting {
+			break
+		}
+		done := l.compactDone
+		l.mu.Unlock()
+		<-done
+	}
+	// l.mu held, no compaction in flight.
+	if l.rebuild == nil {
+		l.mu.Unlock()
+		return errors.New("model: Compact without a rebuild function (SetRebuild)")
+	}
+	if l.cur.Load().Len() == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	view, rebuild := l.beginCompactionLocked()
+	l.mu.Unlock()
+	l.runCompaction(view, rebuild)
+	l.mu.Lock()
+	err := l.lastErr
+	l.mu.Unlock()
+	return err
+}
+
+// Quiesce blocks until no background compaction is in flight. It does
+// not prevent a later ApplyUpdates from starting a new one.
+func (l *Live) Quiesce() {
+	l.mu.Lock()
+	done, compacting := l.compactDone, l.compacting
+	l.mu.Unlock()
+	if compacting {
+		<-done
+	}
+}
+
+// Stats returns a consistent snapshot of the live summary's counters.
+func (l *Live) Stats() LiveStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v := l.cur.Load()
+	st := LiveStats{
+		Nodes:       v.cs.NumNodes(),
+		Supernodes:  v.cs.NumSupernodes(),
+		Superedges:  v.cs.NumSuperedges(),
+		Insertions:  v.plus,
+		Deletions:   v.minus,
+		Version:     v.version,
+		Applied:     l.applied,
+		Compactions: l.compactions,
+		Threshold:   l.threshold,
+		Compacting:  l.compacting,
+	}
+	if l.lastErr != nil {
+		st.LastError = l.lastErr.Error()
+	}
+	return st
+}
+
+// CompactionErr returns the most recent compaction failure (nil after a
+// success or when none has run).
+func (l *Live) CompactionErr() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}

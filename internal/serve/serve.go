@@ -5,10 +5,17 @@
 // materialized — and every request borrows a pooled query context, so
 // arbitrarily many requests are answered concurrently without
 // per-request allocation in the decompression core.
+//
+// A server built with NewLive is mutable: POST /update absorbs edge
+// insertions and deletions into a delta overlay on the compiled base
+// (readers stay lock-free via atomic snapshot swap), and a background
+// compaction re-summarizes once the overlay grows past its threshold.
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -21,13 +28,25 @@ import (
 	"repro/internal/model"
 )
 
-// Server answers graph queries against one compiled summary.
-type Server struct {
-	cs   *model.CompiledSummary
-	algo string // producing algorithm, reported by /stats when known
+const (
+	// maxRequestBody caps every request body read; oversized payloads
+	// get 413 instead of exhausting memory.
+	maxRequestBody = 8 << 20
+	// maxBatchItems caps the per-request work of batched endpoints.
+	maxBatchItems = 10000
+)
 
-	mu      sync.Mutex
-	prCache map[prKey][]float64
+// Server answers graph queries against one summary: either a frozen
+// compiled snapshot (New) or a live, updatable one (NewLive).
+type Server struct {
+	live   *model.Live         // non-nil for mutable servers
+	static *model.DeltaOverlay // empty overlay over the frozen snapshot
+	n      int                 // leaf vertices (fixed across updates)
+	algo   string              // producing algorithm, reported by /stats when known
+
+	mu        sync.Mutex
+	prCache   map[prKey][]float64
+	prVersion uint64 // overlay version the cached vectors were computed at
 }
 
 type prKey struct {
@@ -35,9 +54,24 @@ type prKey struct {
 	t int
 }
 
-// New wraps a compiled summary in a query server.
+// New wraps a compiled summary in a read-only query server.
 func New(cs *model.CompiledSummary) *Server {
-	return &Server{cs: cs, prCache: make(map[prKey][]float64)}
+	return &Server{
+		static:  model.NewOverlay(cs),
+		n:       cs.NumNodes(),
+		prCache: make(map[prKey][]float64),
+	}
+}
+
+// NewLive wraps a live summary in a mutable query server: queries run
+// against lock-free overlay snapshots and POST /update mutates the
+// represented graph.
+func NewLive(l *model.Live) *Server {
+	return &Server{
+		live:    l,
+		n:       l.View().NumNodes(),
+		prCache: make(map[prKey][]float64),
+	}
 }
 
 // WithAlgorithm records the producing algorithm's name (e.g. from
@@ -48,22 +82,43 @@ func (s *Server) WithAlgorithm(name string) *Server {
 	return s
 }
 
+// view returns the snapshot to answer the current request from.
+func (s *Server) view() *model.DeltaOverlay {
+	if s.live != nil {
+		return s.live.View()
+	}
+	return s.static
+}
+
 // Handler returns the HTTP routes:
 //
-//	GET /healthz                     liveness probe
-//	GET /stats                       model sizes
-//	GET /neighbors?v=3               sorted neighbors of one vertex
-//	GET /neighbors?v=3,7,9           batched: one pooled context for all
-//	GET /hasedge?u=1&v=2             edge-existence point query
-//	GET /pagerank?d=0.85&t=20&top=10 top-k PageRank on the summary
+//	GET  /healthz                     liveness probe
+//	GET  /stats                       model sizes (+ overlay counters when mutable)
+//	GET  /neighbors?v=3               sorted neighbors of one vertex
+//	GET  /neighbors?v=3,7,9           batched: one pooled context for all
+//	POST /neighbors {"v":[3,7,9]}     JSON batch form
+//	GET  /hasedge?u=1&v=2             edge-existence point query
+//	GET  /pagerank?d=0.85&t=20&top=10 top-k PageRank on the summary
+//	POST /update {"u":1,"v":2}        insert/delete edges (mutable servers;
+//	     or {"updates":[...]})        read-only servers answer 403)
+//
+// Request bodies are capped at maxRequestBody bytes; oversized payloads
+// are rejected with 413.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /neighbors", s.handleNeighbors)
+	mux.HandleFunc("POST /neighbors", s.handleNeighborsPost)
 	mux.HandleFunc("GET /hasedge", s.handleHasEdge)
 	mux.HandleFunc("GET /pagerank", s.handlePageRank)
-	return mux
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -76,15 +131,41 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// parseVertex parses one vertex id and range-checks it against the
-// model — the single validation point for every id-taking endpoint.
+// decodeJSON decodes a request body, mapping an exceeded MaxBytesReader
+// limit to 413 and malformed JSON to 400. It reports whether decoding
+// succeeded (on false the error response has been written).
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	err := json.NewDecoder(r.Body).Decode(dst)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		return false
+	}
+	httpError(w, http.StatusBadRequest, "decoding request body: %v", err)
+	return false
+}
+
+// checkVertex range-checks one vertex id against the model — the
+// single validation point for every id-taking endpoint (string ids go
+// through parseVertex, JSON-decoded ids come here directly).
+func (s *Server) checkVertex(v int64) error {
+	if v < 0 || v >= int64(s.n) {
+		return fmt.Errorf("vertex %d out of range [0,%d)", v, s.n)
+	}
+	return nil
+}
+
+// parseVertex parses and range-checks one vertex id.
 func (s *Server) parseVertex(raw string) (int32, error) {
 	v, err := strconv.ParseInt(strings.TrimSpace(raw), 10, 32)
 	if err != nil {
 		return 0, fmt.Errorf("vertex id %q: %v", raw, err)
 	}
-	if v < 0 || v >= int64(s.cs.NumNodes()) {
-		return 0, fmt.Errorf("vertex %d out of range [0,%d)", v, s.cs.NumNodes())
+	if err := s.checkVertex(v); err != nil {
+		return 0, err
 	}
 	return int32(v), nil
 }
@@ -107,13 +188,37 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	stats := map[string]any{
-		"nodes":      s.cs.NumNodes(),
-		"supernodes": s.cs.NumSupernodes(),
-		"superedges": s.cs.NumSuperedges(),
-	}
+	stats := map[string]any{}
 	if s.algo != "" {
 		stats["algorithm"] = s.algo
+	}
+	if s.live != nil {
+		// One locked snapshot for both the base sizes and the overlay
+		// counters — reading them separately could straddle a compaction
+		// swap and report an old base with new counters.
+		ls := s.live.Stats()
+		stats["nodes"] = ls.Nodes
+		stats["supernodes"] = ls.Supernodes
+		stats["superedges"] = ls.Superedges
+		stats["mutable"] = true
+		overlay := map[string]any{
+			"insertions":  ls.Insertions,
+			"deletions":   ls.Deletions,
+			"version":     ls.Version,
+			"applied":     ls.Applied,
+			"compactions": ls.Compactions,
+			"threshold":   ls.Threshold,
+			"compacting":  ls.Compacting,
+		}
+		if ls.LastError != "" {
+			overlay["last_compaction_error"] = ls.LastError
+		}
+		stats["overlay"] = overlay
+	} else {
+		base := s.static.Base()
+		stats["nodes"] = base.NumNodes()
+		stats["supernodes"] = base.NumSupernodes()
+		stats["superedges"] = base.NumSuperedges()
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -125,6 +230,22 @@ type NeighborsResult struct {
 	Neighbors []int32 `json:"neighbors"`
 }
 
+func (s *Server) answerNeighbors(w http.ResponseWriter, vs []int32, single bool) {
+	results := make([]NeighborsResult, 0, len(vs))
+	s.view().NeighborsBatch(vs, func(v int32, nbrs []int32) {
+		results = append(results, NeighborsResult{
+			V:         v,
+			Degree:    len(nbrs),
+			Neighbors: append([]int32{}, nbrs...),
+		})
+	})
+	if single && len(results) == 1 {
+		writeJSON(w, http.StatusOK, results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("v")
 	if raw == "" {
@@ -132,6 +253,10 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	parts := strings.Split(raw, ",")
+	if len(parts) > maxBatchItems {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds %d vertices", len(parts), maxBatchItems)
+		return
+	}
 	vs := make([]int32, 0, len(parts))
 	for _, p := range parts {
 		v, err := s.parseVertex(p)
@@ -141,19 +266,33 @@ func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
 		}
 		vs = append(vs, v)
 	}
-	results := make([]NeighborsResult, 0, len(vs))
-	s.cs.NeighborsBatch(vs, func(v int32, nbrs []int32) {
-		results = append(results, NeighborsResult{
-			V:         v,
-			Degree:    len(nbrs),
-			Neighbors: append([]int32{}, nbrs...),
-		})
-	})
-	if len(results) == 1 {
-		writeJSON(w, http.StatusOK, results[0])
+	s.answerNeighbors(w, vs, true)
+}
+
+// handleNeighborsPost is the JSON-body batch form, for batches too
+// large to fit comfortably in a query string.
+func (s *Server) handleNeighborsPost(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		V []int32 `json:"v"`
+	}
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	writeJSON(w, http.StatusOK, results)
+	if len(req.V) == 0 {
+		httpError(w, http.StatusBadRequest, "missing field %q", "v")
+		return
+	}
+	if len(req.V) > maxBatchItems {
+		httpError(w, http.StatusBadRequest, "batch of %d exceeds %d vertices", len(req.V), maxBatchItems)
+		return
+	}
+	for _, v := range req.V {
+		if err := s.checkVertex(int64(v)); err != nil {
+			httpError(w, http.StatusBadRequest, "field \"v\": %v", err)
+			return
+		}
+	}
+	s.answerNeighbors(w, req.V, false)
 }
 
 func (s *Server) handleHasEdge(w http.ResponseWriter, r *http.Request) {
@@ -167,7 +306,71 @@ func (s *Server) handleHasEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": s.cs.HasEdge(u, v)})
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": s.view().HasEdge(u, v)})
+}
+
+// UpdateItem is one edge mutation of the /update request body.
+type UpdateItem struct {
+	U      int32 `json:"u"`
+	V      int32 `json:"v"`
+	Delete bool  `json:"delete"`
+}
+
+// updateRequest accepts both the single form {"u":1,"v":2,"delete":true}
+// and the batch form {"updates":[...]}.
+type updateRequest struct {
+	U       *int32       `json:"u"`
+	V       *int32       `json:"v"`
+	Delete  bool         `json:"delete"`
+	Updates []UpdateItem `json:"updates"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		httpError(w, http.StatusForbidden, "server is read-only; restart with -mutable to accept updates")
+		return
+	}
+	var req updateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var ups []model.EdgeUpdate
+	switch {
+	case req.U != nil || req.V != nil:
+		if req.U == nil || req.V == nil || len(req.Updates) > 0 {
+			httpError(w, http.StatusBadRequest, "use either {u, v, delete} or {updates: [...]}")
+			return
+		}
+		ups = []model.EdgeUpdate{{U: *req.U, V: *req.V, Delete: req.Delete}}
+	case len(req.Updates) > 0:
+		if len(req.Updates) > maxBatchItems {
+			httpError(w, http.StatusBadRequest, "batch of %d exceeds %d updates", len(req.Updates), maxBatchItems)
+			return
+		}
+		ups = make([]model.EdgeUpdate, len(req.Updates))
+		for i, it := range req.Updates {
+			ups[i] = model.EdgeUpdate{U: it.U, V: it.V, Delete: it.Delete}
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "empty update: send {u, v, delete} or {updates: [...]}")
+		return
+	}
+	applied, err := s.live.ApplyUpdates(ups)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ls := s.live.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"received": len(ups),
+		"applied":  applied,
+		"overlay": map[string]any{
+			"insertions": ls.Insertions,
+			"deletions":  ls.Deletions,
+			"version":    ls.Version,
+			"compacting": ls.Compacting,
+		},
+	})
 }
 
 // RankedVertex is one entry of the /pagerank response.
@@ -181,31 +384,45 @@ type RankedVertex struct {
 // unbounded number of n-length rank vectors.
 const maxPRCacheEntries = 32
 
-// pageRank returns the cached PageRank vector for (d, t). The power
-// iteration runs outside the lock, so a cache miss never blocks hits on
-// other keys; concurrent first requests for one key may compute it more
-// than once, which is benign (identical results, bounded work).
-func (s *Server) pageRank(d float64, t int) []float64 {
+// pageRank returns the cached PageRank vector for (d, t) on the given
+// snapshot. Cache entries are tied to the snapshot's overlay version:
+// any update or compaction bumps the version and invalidates the whole
+// cache. The power iteration runs outside the lock, so a cache miss
+// never blocks hits on other keys; concurrent first requests for one
+// key may compute it more than once, which is benign (identical
+// results, bounded work).
+func (s *Server) pageRank(view *model.DeltaOverlay, d float64, t int) []float64 {
 	key := prKey{d: d, t: t}
 	s.mu.Lock()
-	if r, ok := s.prCache[key]; ok {
-		s.mu.Unlock()
-		return r
+	// Advance strictly monotonically: a slow request holding an older
+	// snapshot must neither clear a fresher cache nor install its stale
+	// vector (it just computes uncached).
+	if view.Version() > s.prVersion {
+		clear(s.prCache)
+		s.prVersion = view.Version()
+	}
+	if s.prVersion == view.Version() {
+		if r, ok := s.prCache[key]; ok {
+			s.mu.Unlock()
+			return r
+		}
 	}
 	s.mu.Unlock()
-	src := algos.OnCompiled(s.cs)
+	src := algos.OnView(view)
 	r := algos.PageRank(src, d, t)
 	src.Release()
 	s.mu.Lock()
-	if len(s.prCache) >= maxPRCacheEntries {
-		// Evict an arbitrary entry; the common workload reuses one or
-		// two (d, t) pairs and never reaches the cap.
-		for k := range s.prCache {
-			delete(s.prCache, k)
-			break
+	if s.prVersion == view.Version() {
+		if len(s.prCache) >= maxPRCacheEntries {
+			// Evict an arbitrary entry; the common workload reuses one or
+			// two (d, t) pairs and never reaches the cap.
+			for k := range s.prCache {
+				delete(s.prCache, k)
+				break
+			}
 		}
+		s.prCache[key] = r
 	}
-	s.prCache[key] = r
 	s.mu.Unlock()
 	return r
 }
@@ -242,7 +459,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		}
 		top = parsed
 	}
-	rank := s.pageRank(d, t)
+	rank := s.pageRank(s.view(), d, t)
 	ranked := make([]RankedVertex, len(rank))
 	for v, rr := range rank {
 		ranked[v] = RankedVertex{V: int32(v), Rank: rr}
@@ -261,15 +478,35 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// ListenAndServe serves the handler on addr until the listener fails.
-// Header/idle timeouts guard against slow-client connection exhaustion
-// (Go's http.Server defaults to none).
-func (s *Server) ListenAndServe(addr string) error {
+// Run serves the handler on addr until the listener fails or ctx is
+// cancelled; on cancellation it drains in-flight requests through
+// Server.Shutdown (bounded by shutdownTimeout) instead of killing them.
+// All slow-client timeouts are set (Go's http.Server defaults to none):
+// header, write and idle.
+func (s *Server) Run(ctx context.Context, addr string) error {
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	return srv.ListenAndServe()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		const shutdownTimeout = 15 * time.Second
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+// ListenAndServe serves the handler on addr until the listener fails.
+// Use Run for graceful shutdown on signal.
+func (s *Server) ListenAndServe(addr string) error {
+	return s.Run(context.Background(), addr)
 }

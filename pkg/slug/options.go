@@ -13,6 +13,7 @@ type buildConfig struct {
 	seed        int64
 	workers     int // merge-phase worker pool size (slugger)
 	progress    func(Event)
+	compaction  int // updatable-artifact compaction threshold (NewUpdatable)
 }
 
 func resolve(opts []Option) buildConfig {
@@ -47,6 +48,15 @@ func WithSeed(seed int64) Option {
 // serial baselines ignore it.
 func WithWorkers(n int) Option {
 	return func(cfg *buildConfig) { cfg.workers = n }
+}
+
+// WithCompactionThreshold sets, for updatable artifacts (NewUpdatable),
+// the number of overlay corrections at which a background re-summarize
+// is triggered and the fresh base swapped in (0, the default, disables
+// auto-compaction: the overlay grows until Compact is called).
+// Summarize calls ignore it.
+func WithCompactionThreshold(n int) Option {
+	return func(cfg *buildConfig) { cfg.compaction = n }
 }
 
 // WithProgress registers a callback receiving build progress Events.

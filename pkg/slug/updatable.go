@@ -1,0 +1,161 @@
+package slug
+
+// Updatable artifacts: the live-maintenance face of the public API.
+// NewUpdatable wraps any finished Artifact in a model.Live — edge
+// insertions and deletions land in a delta overlay on the compiled
+// base without recompiling, readers stay lock-free via atomic snapshot
+// swap, and once the overlay reaches WithCompactionThreshold a
+// background re-summarize (with the artifact's own algorithm and the
+// given build options) swaps in a fresh base.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+)
+
+// Updatable is an Artifact whose represented graph can change after the
+// build: a living summary rather than a frozen snapshot. All Artifact
+// methods observe the current live state. Queries against a consistent
+// point-in-time view go through View (the Queryable of the Artifact
+// interface returns only the compiled base, without overlay
+// corrections).
+type Updatable interface {
+	Artifact
+	// ApplyUpdates applies a batch of edge insertions/deletions to the
+	// live graph and returns the number of effective updates (inserting
+	// a present edge or deleting an absent one is a no-op). The vertex
+	// set is fixed at build time; out-of-range endpoints reject the
+	// batch.
+	ApplyUpdates(ups []model.EdgeUpdate) (int, error)
+	// View returns the current immutable snapshot for querying:
+	// NeighborsOf, HasEdge, NeighborsBatch and Decode all see the live
+	// graph. Lock-free; the snapshot stays consistent however long it
+	// is held.
+	View() *model.DeltaOverlay
+	// Compact synchronously re-summarizes the live graph with the
+	// artifact's algorithm and swaps in the fresh base, emptying the
+	// overlay.
+	Compact() error
+	// Live exposes the underlying maintenance container (for serving
+	// front-ends that need stats and snapshots).
+	Live() *model.Live
+}
+
+// liveArtifact implements Updatable over a model.Live whose rebuild
+// re-summarizes through the algorithm registry.
+type liveArtifact struct {
+	algo string
+	live *model.Live
+
+	mu      sync.Mutex
+	base    Artifact // artifact of the served compiled base
+	pending Artifact // rebuilt artifact staged until its swap commits
+}
+
+// NewUpdatable makes an artifact's summary live: the result absorbs
+// edge updates through a delta overlay and re-summarizes in the
+// background once the overlay reaches WithCompactionThreshold (0
+// disables auto-compaction). The options are also replayed on every
+// compaction rebuild, so WithSeed, WithIterations etc. keep applying —
+// given the same options, the same update stream always yields the
+// same artifact. The producing algorithm must be registered (it is
+// what compaction rebuilds with).
+func NewUpdatable(art Artifact, opts ...Option) (Updatable, error) {
+	if _, ok := Lookup(art.Algorithm()); !ok {
+		return nil, fmt.Errorf("slug: cannot make %q artifact updatable: algorithm not registered (compaction needs it)", art.Algorithm())
+	}
+	cs, err := art.Queryable()
+	if err != nil {
+		return nil, err
+	}
+	la := &liveArtifact{algo: art.Algorithm(), base: art}
+	l := model.NewLive(cs)
+	cfg := resolve(opts)
+	l.SetCompactionThreshold(cfg.compaction)
+	// The rebuilt artifact is only staged here: it becomes la.base in
+	// the OnCompacted hook, atomically with the Live base swap, so a
+	// failed compaction (or the window before the swap commits) never
+	// leaves la.base describing a base that isn't being served.
+	l.SetRebuild(func(g *graph.Graph) (*model.CompiledSummary, error) {
+		fresh, err := Get(la.algo).Summarize(context.Background(), g, opts...)
+		if err != nil {
+			return nil, err
+		}
+		compiled, err := fresh.Queryable()
+		if err != nil {
+			return nil, err
+		}
+		la.mu.Lock()
+		la.pending = fresh
+		la.mu.Unlock()
+		return compiled, nil
+	})
+	l.SetOnCompacted(func() {
+		la.mu.Lock()
+		if la.pending != nil {
+			la.base = la.pending
+			la.pending = nil
+		}
+		la.mu.Unlock()
+	})
+	la.live = l
+	return la, nil
+}
+
+func (la *liveArtifact) Algorithm() string { return la.algo }
+
+// Cost returns the live encoding cost: the compiled base's cost plus
+// one correction edge per overlay entry (exactly what serializing the
+// overlay as signed edges would add).
+func (la *liveArtifact) Cost() int64 {
+	la.mu.Lock()
+	base := la.base
+	la.mu.Unlock()
+	return base.Cost() + int64(la.live.View().Len())
+}
+
+// Decode materializes the current live graph.
+func (la *liveArtifact) Decode() *graph.Graph { return la.live.View().Decode() }
+
+// Queryable returns the current compiled base — without overlay
+// corrections. Live queries should go through View; this accessor
+// exists to satisfy the Artifact interface (and equals View().Base()).
+func (la *liveArtifact) Queryable() (*model.CompiledSummary, error) {
+	return la.live.View().Base(), nil
+}
+
+// WriteTo serializes the live artifact. A non-empty overlay is first
+// compacted (synchronously, waiting out any in-flight background
+// compaction), so the written artifact is a self-contained summary of
+// the live graph; with fixed options the bytes are a deterministic
+// function of the build inputs and the update stream.
+func (la *liveArtifact) WriteTo(w io.Writer) (int64, error) {
+	if la.live.View().Len() > 0 {
+		if err := la.live.Compact(); err != nil {
+			return 0, fmt.Errorf("slug: compacting before serialization: %w", err)
+		}
+	} else {
+		// Even an empty overlay may sit above a stale base artifact if
+		// a background compaction is mid-swap; wait it out.
+		la.live.Quiesce()
+	}
+	la.mu.Lock()
+	base := la.base
+	la.mu.Unlock()
+	return base.WriteTo(w)
+}
+
+func (la *liveArtifact) ApplyUpdates(ups []model.EdgeUpdate) (int, error) {
+	return la.live.ApplyUpdates(ups)
+}
+
+func (la *liveArtifact) View() *model.DeltaOverlay { return la.live.View() }
+
+func (la *liveArtifact) Compact() error { return la.live.Compact() }
+
+func (la *liveArtifact) Live() *model.Live { return la.live }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_3.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_4.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -10,14 +10,18 @@
 #   BENCHTIME_MICRO go-test benchtime for the microbenchmarks (default 5000x)
 #   BENCHTIME_QUERY go-test benchtime for the query-path benchmarks (default 20000x)
 #   BENCHTIME_API   go-test benchtime for the public-API overhead pair (default 5x)
+#   BENCHTIME_UPDATE go-test benchtime for the overlay-apply side of the
+#                    update-throughput pair (default 200x; the full-rebuild
+#                    side always runs 5x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_3.json}
+OUT=${1:-BENCH_4.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
 API=${BENCHTIME_API:-5x}
+UPDATE=${BENCHTIME_UPDATE:-200x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -41,6 +45,12 @@ echo "== public API overhead: slug.Get vs direct core.Summarize (benchtime=$API)
 go test -run '^$' -bench 'BenchmarkDirectSlugger$|BenchmarkAPISlugger$' -benchmem \
   -benchtime "$API" -timeout 20m ./pkg/slug | tee "$TMP/api.txt"
 
+echo "== update throughput: overlay apply vs full rebuild (benchtime=$UPDATE / 5x) =="
+go test -run '^$' -bench 'BenchmarkUpdateOverlayApply$' -benchmem \
+  -benchtime "$UPDATE" -timeout 20m . | tee "$TMP/update.txt"
+go test -run '^$' -bench 'BenchmarkUpdateFullRebuild$' -benchmem \
+  -benchtime 5x -timeout 20m . | tee -a "$TMP/update.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -49,7 +59,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -83,7 +93,12 @@ doc = {
              "scaling is covered by BenchmarkCompiledNeighborsParallel. "
              "BenchmarkAPISlugger vs BenchmarkDirectSlugger is the unified "
              "pkg/slug wrapper-overhead check: the pair runs the identical "
-             "SLUGGER configuration and must agree within noise."),
+             "SLUGGER configuration and must agree within noise. "
+             "BenchmarkUpdateOverlayApply (one op = 200 updates through the "
+             "delta overlay) vs BenchmarkUpdateFullRebuild (one op = "
+             "summarize+compile absorbing a 100-update batch) is the live-"
+             "maintenance pair: per absorbed update the overlay must be "
+             ">=10x faster than the rebuild (PR-4 acceptance bar)."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
