@@ -9,9 +9,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/algos"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/pkg/slug"
 )
 
 // benchOpt returns experiment options sized for benchmarking.
@@ -343,5 +346,77 @@ func BenchmarkSluggerEndToEnd(b *testing.B) {
 				core.Summarize(g, core.Config{T: 10, Seed: int64(i), Workers: workers})
 			}
 		})
+	}
+}
+
+// shardBenchGraph returns the community-structured ("2-partitionable")
+// graph of the sharded-vs-single build pair: the hierarchical
+// planted-partition generator yields dense communities with a sparse
+// cross-community band, so an edge-cut partition keeps most edges
+// inside shards.
+func shardBenchGraph() *graph.Graph {
+	return graph.HierCommunity(graph.DefaultHierParams(), 3)
+}
+
+// BenchmarkShardedBuildSingle is the single-pass side of the sharded
+// build pair: one monolithic SLUGGER summary of the whole graph.
+func BenchmarkShardedBuildSingle(b *testing.B) {
+	g := shardBenchGraph()
+	ctx := context.Background()
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slug.Get("slugger").Summarize(ctx, g,
+			slug.WithIterations(10), slug.WithSeed(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedBuildK4 is the partition-parallel side: the same
+// graph cut into 4 shards summarized concurrently under a GOMAXPROCS
+// worker budget. On multi-core this must beat the single pass by
+// wall-clock; on a single CPU the win comes only from candidate groups
+// no longer spanning communities (PR-5 acceptance bar: measurably
+// faster on multi-core, parity acceptable on 1 CPU).
+func BenchmarkShardedBuildK4(b *testing.B) {
+	g := shardBenchGraph()
+	ctx := context.Background()
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh, err := slug.SummarizeSharded(ctx, g, 4,
+			slug.WithIterations(10), slug.WithSeed(1),
+			slug.WithWorkers(runtime.GOMAXPROCS(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(sh.Boundary)), "cut-edges")
+		}
+	}
+}
+
+// BenchmarkShardedNeighborsOf measures the federated query overhead:
+// one NeighborsOf through the shard router versus the single compiled
+// engine (BenchmarkNeighborQueryCompiled is the baseline).
+func BenchmarkShardedNeighborsOf(b *testing.B) {
+	g := shardBenchGraph()
+	sh, err := slug.SummarizeSharded(context.Background(), g, 4,
+		slug.WithIterations(10), slug.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc, err := sh.Queryable()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := sc.AcquireCtx()
+	defer sc.ReleaseCtx(ctx)
+	n := int32(g.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.NeighborsOf(int32(i) % n)
 	}
 }

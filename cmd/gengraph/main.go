@@ -6,7 +6,13 @@
 //
 //	gengraph -dataset PR -scale 0.5 -out pr.txt
 //	gengraph -model er -n 10000 -m 50000 -out er.txt
+//	gengraph -model ba -n 10000 -m 3 -out ba.txt
 //	gengraph -model hier -out hier.txt
+//
+// -model ba is Barabási–Albert preferential attachment (-m is the
+// attachment degree): heavy-tailed power-law degrees, the realistic
+// skew for shard-balance and hub-compression testing, where er's
+// near-uniform degrees are too forgiving.
 package main
 
 import (

@@ -8,6 +8,14 @@
 //
 //	serve -summary out.slga [-addr :8080] [-mutable [-compact 10000]]
 //	serve -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-workers 4] [-addr :8080]
+//	serve -in graph.txt -shards 4 [-workers 8] [-addr :8080]
+//
+// With -shards k > 1 the graph is partitioned into k shards summarized
+// concurrently under the -workers budget, and queries are served
+// federated: routed to the owning shard's compiled engine and merged
+// with the boundary edges. The endpoints are unchanged; /stats gains
+// per-shard sizes. Sharded serving is immutable (-mutable is
+// rejected). -summary detects sharded artifact files automatically.
 //
 // Builds route through the unified pkg/slug API, so every algorithm's
 // output can be served and all build knobs (-t, -hb, -seed, -workers)
@@ -34,6 +42,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -62,9 +71,15 @@ func main() {
 		workers = flag.Int("workers", 1, "group-scheduler worker pool size when summarizing -in and for -mutable compaction rebuilds")
 		mutable = flag.Bool("mutable", false, "accept live edge updates via POST /update")
 		compact = flag.Int("compact", 10000, "with -mutable: overlay corrections that trigger a background re-summarize (0 = never: the overlay then grows without bound and per-update cost grows with it; pair with manual offline compaction)")
+		shards  = flag.Int("shards", 1, "partition -in into this many shards, summarize them concurrently and serve the federation (1 = unsharded; incompatible with -mutable)")
 		addr    = flag.String("addr", ":8080", "listen address")
 	)
 	flag.Parse()
+	if *shards > 1 && *mutable {
+		// Reject the flag conflict before any work: a large sharded build
+		// can take minutes and would otherwise be thrown away.
+		log.Fatal("sharded serving is immutable: -shards and -mutable are incompatible (serve unsharded, or rebuild shards offline)")
+	}
 
 	// Ctrl-C / SIGTERM cancels a running build and gracefully drains the
 	// server once it is listening. After the first signal the handler is
@@ -85,14 +100,24 @@ func main() {
 		slug.WithCompactionThreshold(*compact),
 	}
 
-	var art slug.Artifact
+	var (
+		art slug.Artifact
+		sh  *slug.Sharded
+	)
 	switch {
 	case *summary != "":
 		a, err := slug.Load(*summary)
-		if err != nil {
+		if errors.Is(err, slug.ErrShardedArtifact) {
+			s, err := slug.LoadSharded(*summary)
+			if err != nil {
+				log.Fatalf("loading sharded artifact: %v", err)
+			}
+			sh = s
+		} else if err != nil {
 			log.Fatalf("loading artifact: %v", err)
+		} else {
+			art = a
 		}
-		art = a
 	case *in != "":
 		g, err := graph.LoadEdgeList(*in)
 		if err != nil {
@@ -100,20 +125,61 @@ func main() {
 		}
 		fmt.Printf("input: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 		start := time.Now()
-		a, err := slug.Get(*algo).Summarize(ctx, g, opts...)
-		if err != nil {
-			log.Fatalf("summarizing with %s: %v", *algo, err)
+		if *shards > 1 {
+			s, err := slug.SummarizeSharded(ctx, g, *shards, append(opts, slug.WithAlgorithm(*algo))...)
+			if err != nil {
+				log.Fatalf("summarizing %d shards with %s: %v", *shards, *algo, err)
+			}
+			rel := 0.0
+			if g.NumEdges() > 0 {
+				rel = float64(s.Cost()) / float64(g.NumEdges())
+			}
+			fmt.Printf("summarized %d shards with %s in %s: cost %d (%.1f%% of input)\n",
+				s.NumShards(), s.Algorithm(), time.Since(start).Round(time.Millisecond), s.Cost(), 100*rel)
+			sh = s
+		} else {
+			a, err := slug.Get(*algo).Summarize(ctx, g, opts...)
+			if err != nil {
+				log.Fatalf("summarizing with %s: %v", *algo, err)
+			}
+			rel := 0.0
+			if g.NumEdges() > 0 {
+				rel = float64(a.Cost()) / float64(g.NumEdges())
+			}
+			fmt.Printf("summarized with %s in %s: cost %d (%.1f%% of input)\n",
+				a.Algorithm(), time.Since(start).Round(time.Millisecond), a.Cost(), 100*rel)
+			art = a
 		}
-		rel := 0.0
-		if g.NumEdges() > 0 {
-			rel = float64(a.Cost()) / float64(g.NumEdges())
-		}
-		fmt.Printf("summarized with %s in %s: cost %d (%.1f%% of input)\n",
-			a.Algorithm(), time.Since(start).Round(time.Millisecond), a.Cost(), 100*rel)
-		art = a
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if sh != nil {
+		if *mutable {
+			// Reachable only via -summary <sharded file> -mutable (the
+			// -shards conflict is rejected at flag parse).
+			log.Fatal("sharded artifacts serve immutably: drop -mutable, or serve an unsharded artifact")
+		}
+		start := time.Now()
+		sc, err := sh.Queryable()
+		if err != nil {
+			log.Fatalf("compiling sharded artifact: %v", err)
+		}
+		fmt.Printf("compiled %d vertices across %d shards (%d supernodes, %d superedges, %d boundary edges) in %s\n",
+			sc.NumNodes(), sc.NumShards(), sc.NumSupernodes(), sc.NumSuperedges(),
+			sc.NumBoundaryEdges(), time.Since(start).Round(time.Millisecond))
+		for s := 0; s < sc.NumShards(); s++ {
+			cs := sc.Shard(s)
+			fmt.Printf("  shard %d: %d vertices, %d supernodes, %d superedges\n",
+				s, cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges())
+		}
+		fmt.Printf("listening on %s (algorithm %s, federated)\n", *addr, sh.Algorithm())
+		if err := serve.NewSharded(sc).WithAlgorithm(sh.Algorithm()).Run(ctx, *addr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("shut down cleanly")
+		return
 	}
 
 	start := time.Now()

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	slugger -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-seed 0] [-validate] [-v]
+//	slugger -in graph.txt -shards 4 [-workers 8] [-save out.slgs]
 //
 // The input format is one "u v" pair per line ('#'/'%' comments
 // allowed). -algo selects among slugger, sweg, mosso, randomized and
@@ -13,10 +14,18 @@
 // -serve :8080 the process stays up after summarizing (or -load) and
 // answers neighbor/hasedge/pagerank queries over HTTP. Interrupting a
 // running build (Ctrl-C) cancels it promptly via context cancellation.
+//
+// With -shards k > 1 the graph is partitioned into k shards that are
+// summarized concurrently under the -workers budget and written as one
+// sharded artifact (per-shard summaries plus a boundary-edge sidecar);
+// -validate, -save, -decode and -serve all work on the sharded path,
+// with serving federated across shards. -load detects sharded files
+// automatically.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -47,10 +56,20 @@ func main() {
 		load     = flag.String("load", "", "load a saved artifact and report its statistics")
 		decodeTo = flag.String("decode", "", "decode the artifact back to an edge-list file")
 		serveOn  = flag.String("serve", "", "after summarizing or loading, serve queries over HTTP on this address (e.g. :8080)")
+		shards   = flag.Int("shards", 1, "partition the graph into this many shards and summarize them concurrently (1 = unsharded)")
 	)
 	flag.Parse()
 	if *load != "" {
 		art, err := slug.Load(*load)
+		if errors.Is(err, slug.ErrShardedArtifact) {
+			sh, err := slug.LoadSharded(*load)
+			if err != nil {
+				log.Fatalf("loading sharded artifact: %v", err)
+			}
+			describeSharded(sh, 0, 0)
+			finishSharded(sh, *decodeTo, *serveOn)
+			return
+		}
 		if err != nil {
 			log.Fatalf("loading artifact: %v", err)
 		}
@@ -92,6 +111,30 @@ func main() {
 	// mid-write. The handler is released right after the build so a
 	// later Ctrl-C still terminates -serve/-validate/-save normally.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if *shards > 1 {
+		start := time.Now()
+		sh, err := slug.SummarizeSharded(ctx, g, *shards, append(opts, slug.WithAlgorithm(*algo))...)
+		elapsed := time.Since(start)
+		stop()
+		if err != nil {
+			log.Fatalf("summarizing %d shards with %s: %v", *shards, *algo, err)
+		}
+		describeSharded(sh, g.NumEdges(), elapsed)
+		if *validate {
+			if err := sh.Validate(g); err != nil {
+				log.Fatalf("validation FAILED: %v", err)
+			}
+			fmt.Println("validation: OK (lossless)")
+		}
+		if *save != "" {
+			if err := slug.Save(*save, sh); err != nil {
+				log.Fatalf("saving artifact: %v", err)
+			}
+			fmt.Printf("sharded artifact written to %s\n", *save)
+		}
+		finishSharded(sh, *decodeTo, *serveOn)
+		return
+	}
 	start := time.Now()
 	art, err := slug.Get(*algo).Summarize(ctx, g, opts...)
 	elapsed := time.Since(start)
@@ -138,6 +181,46 @@ func describe(art slug.Artifact, edges int64, elapsed time.Duration) {
 	}
 	if elapsed > 0 {
 		fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))
+	}
+}
+
+// describeSharded prints a sharded artifact's statistics with one line
+// per shard; edges and elapsed are zero when unknown (the -load path).
+func describeSharded(sh *slug.Sharded, edges int64, elapsed time.Duration) {
+	fmt.Printf("sharded artifact: algorithm=%s shards=%d cost=%d", sh.Algorithm(), sh.NumShards(), sh.Cost())
+	if edges > 0 {
+		fmt.Printf(" (relative size %.4f)", float64(sh.Cost())/float64(edges))
+	}
+	fmt.Println()
+	for s, art := range sh.Shards {
+		fmt.Printf("  shard %d: %d vertices, cost %d\n", s, len(sh.GlobalID[s]), art.Cost())
+	}
+	fmt.Printf("  boundary: %d cross-shard edges\n", len(sh.Boundary))
+	if elapsed > 0 {
+		fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))
+	}
+}
+
+// finishSharded handles the sharded output actions: decoding to an
+// edge list and federated serving.
+func finishSharded(sh *slug.Sharded, decodeTo, serveOn string) {
+	if decodeTo != "" {
+		if err := graph.SaveEdgeList(decodeTo, sh.Decode()); err != nil {
+			log.Fatalf("decoding: %v", err)
+		}
+		fmt.Printf("decoded graph written to %s\n", decodeTo)
+	}
+	if serveOn == "" {
+		return
+	}
+	sc, err := sh.Queryable()
+	if err != nil {
+		log.Fatalf("compiling sharded artifact for serving: %v", err)
+	}
+	fmt.Printf("serving %s queries on %s (%d vertices across %d shards, %d boundary edges)\n",
+		sh.Algorithm(), serveOn, sc.NumNodes(), sc.NumShards(), sc.NumBoundaryEdges())
+	if err := serve.NewSharded(sc).WithAlgorithm(sh.Algorithm()).ListenAndServe(serveOn); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,66 @@
+package graph
+
+import "testing"
+
+// The Barabási–Albert generator exists to give shard-balance and
+// parity tests realistic degree skew: preferential attachment yields a
+// heavy-tailed (power-law-like) degree distribution, unlike the
+// near-uniform degrees of Erdős–Rényi graphs.
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	const n, k = 2000, 3
+	g := BarabasiAlbert(n, k, 1)
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+	}
+	// Every arriving node contributes up to k edges (fewer only through
+	// dedup against earlier picks), plus the seed clique.
+	m := g.NumEdges()
+	if m < int64(n*k)*9/10 || m > int64(n*k)+int64(k*(k+1)) {
+		t.Fatalf("edges = %d, implausible for n=%d k=%d", m, n, k)
+	}
+	// Arriving nodes have degree >= k (their own attachments).
+	for v := 0; v < n; v++ {
+		if g.Degree(int32(v)) < 1 {
+			t.Fatalf("vertex %d isolated", v)
+		}
+	}
+}
+
+// TestBarabasiAlbertDegreeSkew asserts the property the generator is
+// for: a heavy tail. The maximum degree of a BA graph grows like
+// sqrt(n), far above the mean; an ER graph of the same size stays
+// within a few multiples of its mean.
+func TestBarabasiAlbertDegreeSkew(t *testing.T) {
+	const n, k = 2000, 3
+	ba := BarabasiAlbert(n, k, 1)
+	avg := float64(2*ba.NumEdges()) / float64(n)
+	if max := float64(ba.MaxDegree()); max < 5*avg {
+		t.Fatalf("BA max degree %.0f < 5x mean %.1f: no heavy tail", max, avg)
+	}
+	er := ErdosRenyi(n, int(ba.NumEdges()), 1)
+	if ba.MaxDegree() <= 2*er.MaxDegree() {
+		t.Fatalf("BA max degree %d not clearly above ER max degree %d at equal size",
+			ba.MaxDegree(), er.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(500, 2, 42)
+	b := BarabasiAlbert(500, 2, 42)
+	if !Equal(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := BarabasiAlbert(500, 2, 43)
+	if Equal(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertSmall(t *testing.T) {
+	// n smaller than the seed clique still yields a simple graph.
+	g := BarabasiAlbert(3, 5, 0)
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("tiny BA graph: %v", g)
+	}
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"testing"
+)
+
+// reassemble rebuilds the full graph from a partition's subgraphs plus
+// its boundary sidecar — the losslessness invariant every consumer of
+// Partition relies on.
+func reassemble(p *Partition, n int) *Graph {
+	b := NewBuilder(n)
+	for s, sub := range p.Subgraphs {
+		gid := p.GlobalID[s]
+		sub.ForEachEdge(func(u, v int32) { b.AddEdge(gid[u], gid[v]) })
+	}
+	for _, e := range p.Boundary {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestPartitionLossless(t *testing.T) {
+	graphs := map[string]*Graph{
+		"er":      ErdosRenyi(200, 800, 1),
+		"ba":      BarabasiAlbert(200, 3, 2),
+		"caveman": Caveman(10, 8, 5, 3),
+		"empty":   FromEdges(50, nil),
+	}
+	for name, g := range graphs {
+		for _, k := range []int{1, 2, 3, 8} {
+			p, err := PartitionGraph(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", name, k, err)
+			}
+			if !Equal(reassemble(p, g.NumNodes()), g) {
+				t.Fatalf("%s k=%d: shards + boundary do not reassemble the input", name, k)
+			}
+			// Intra-shard plus boundary edges account for every edge.
+			var intra int64
+			for _, sub := range p.Subgraphs {
+				intra += sub.NumEdges()
+			}
+			if intra+int64(len(p.Boundary)) != g.NumEdges() {
+				t.Fatalf("%s k=%d: %d intra + %d boundary != %d edges",
+					name, k, intra, len(p.Boundary), g.NumEdges())
+			}
+		}
+	}
+}
+
+func TestPartitionMapsConsistent(t *testing.T) {
+	g := BarabasiAlbert(300, 4, 7)
+	p, err := PartitionGraph(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, g.NumNodes())
+	for s, ids := range p.GlobalID {
+		prev := int32(-1)
+		for l, v := range ids {
+			if v <= prev {
+				t.Fatalf("shard %d GlobalID not strictly ascending at %d", s, l)
+			}
+			prev = v
+			if seen[v] {
+				t.Fatalf("vertex %d owned by two shards", v)
+			}
+			seen[v] = true
+			if p.ShardOf[v] != int32(s) || p.LocalOf[v] != int32(l) {
+				t.Fatalf("vertex %d: ShardOf/LocalOf (%d,%d) != (%d,%d)",
+					v, p.ShardOf[v], p.LocalOf[v], s, l)
+			}
+		}
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Fatalf("vertex %d unassigned", v)
+		}
+	}
+	for _, e := range p.Boundary {
+		if p.ShardOf[e[0]] == p.ShardOf[e[1]] {
+			t.Fatalf("boundary edge (%d,%d) is intra-shard", e[0], e[1])
+		}
+		if e[0] >= e[1] {
+			t.Fatalf("boundary edge (%d,%d) not canonicalized", e[0], e[1])
+		}
+	}
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{100, 2}, {100, 7}, {101, 8}, {10, 10}, {5, 4}} {
+		g := ErdosRenyi(tc.n, 3*tc.n, int64(tc.n))
+		p, err := PartitionGraph(g, tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ceil := (tc.n + tc.k - 1) / tc.k
+		for s, size := range p.ShardSizes() {
+			if size == 0 {
+				t.Fatalf("n=%d k=%d: shard %d is empty", tc.n, tc.k, s)
+			}
+			if size > ceil {
+				t.Fatalf("n=%d k=%d: shard %d has %d > ceil %d vertices", tc.n, tc.k, s, size, ceil)
+			}
+		}
+	}
+}
+
+func TestPartitionIdentityForK1(t *testing.T) {
+	g := ErdosRenyi(120, 500, 9)
+	p, err := PartitionGraph(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(p.Subgraphs[0], g) {
+		t.Fatal("k=1 subgraph differs from the input graph")
+	}
+	if len(p.Boundary) != 0 {
+		t.Fatalf("k=1 produced %d boundary edges", len(p.Boundary))
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if p.ShardOf[v] != 0 || p.LocalOf[v] != int32(v) || p.GlobalID[0][v] != int32(v) {
+			t.Fatalf("k=1 id maps not the identity at %d", v)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := BarabasiAlbert(400, 3, 11)
+	a, err := PartitionGraph(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PartitionGraph(g, 4)
+	for v := range a.ShardOf {
+		if a.ShardOf[v] != b.ShardOf[v] {
+			t.Fatalf("assignment of vertex %d differs across runs", v)
+		}
+	}
+}
+
+// TestPartitionExploitsStructure checks the LDG heuristic beats naive
+// round-robin where it should: contiguous cliques connected by single
+// bridges are nearly separable, so the cut must stay a small fraction
+// of the edges.
+func TestPartitionExploitsStructure(t *testing.T) {
+	g := Caveman(8, 12, 0, 5) // 8 cliques of 12, ring bridges only
+	p, err := PartitionGraph(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := p.EdgeCut(); int64(cut)*10 > g.NumEdges() {
+		t.Fatalf("edge cut %d exceeds 10%% of %d edges on a near-separable graph", cut, g.NumEdges())
+	}
+}
+
+func TestPartitionRejectsBadK(t *testing.T) {
+	g := ErdosRenyi(10, 20, 1)
+	for _, k := range []int{0, -1, 11} {
+		if _, err := PartitionGraph(g, k); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+	}
+	if _, err := PartitionGraph(FromEdges(0, nil), 1); err != nil {
+		t.Fatalf("empty graph k=1: %v", err)
+	}
+}

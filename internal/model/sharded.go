@@ -1,0 +1,321 @@
+package model
+
+// This file implements federated serving over a sharded summary: a
+// ShardedCompiled owns one CompiledSummary per shard (in shard-local
+// ids) plus the boundary edges that cross shards, and answers global
+// queries by routing them. NeighborsOf merges the owning shard's
+// compiled answer (translated to global ids) with the vertex's boundary
+// adjacency; HasEdge routes by the endpoints' shard pair — the owning
+// shard's engine for intra-shard pairs, a binary search of the boundary
+// CSR for cross-shard ones. Like CompiledSummary, all per-query state
+// lives in a pooled context, so one ShardedCompiled serves any number
+// of concurrent readers.
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// ShardedCompiled is an immutable federation of per-shard compiled
+// summaries behind the global vertex-id space. Safe for any number of
+// concurrent readers; per-query scratch lives in ShardedCtx.
+type ShardedCompiled struct {
+	n      int
+	shards []*CompiledSummary
+
+	shardOf  []int32   // global id -> owning shard
+	localOf  []int32   // global id -> local id within the shard
+	globalID [][]int32 // shard -> local id -> global id (ascending)
+
+	// Boundary adjacency in global ids, CSR with sorted windows:
+	// cross-shard neighbors of v are bAdj[bOff[v]:bOff[v+1]].
+	bOff     []int64
+	bAdj     []int32
+	boundary int // number of cross-shard edges
+
+	ctxPool sync.Pool
+}
+
+// NewShardedCompiled federates per-shard compiled summaries into one
+// queryable engine. globalID[s][l] maps shard s's local vertex l to its
+// global id; the maps must form a bijection onto 0..n-1 (n = total
+// vertices across shards) with each list strictly ascending. boundary
+// lists the cross-shard edges in global ids; endpoints must belong to
+// different shards.
+func NewShardedCompiled(shards []*CompiledSummary, globalID [][]int32, boundary [][2]int32) (*ShardedCompiled, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("model: sharded summary needs at least one shard")
+	}
+	if len(globalID) != len(shards) {
+		return nil, fmt.Errorf("model: %d shards but %d id maps", len(shards), len(globalID))
+	}
+	n := 0
+	for s, cs := range shards {
+		if cs.NumNodes() != len(globalID[s]) {
+			return nil, fmt.Errorf("model: shard %d has %d vertices but an id map of %d", s, cs.NumNodes(), len(globalID[s]))
+		}
+		n += cs.NumNodes()
+	}
+	sc := &ShardedCompiled{
+		n:        n,
+		shards:   shards,
+		shardOf:  make([]int32, n),
+		localOf:  make([]int32, n),
+		globalID: globalID,
+		boundary: len(boundary),
+	}
+	assigned := make([]bool, n)
+	for s, ids := range globalID {
+		prev := int32(-1)
+		for l, v := range ids {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("model: shard %d maps local %d to out-of-range global %d", s, l, v)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("model: shard %d id map not strictly ascending at local %d", s, l)
+			}
+			prev = v
+			if assigned[v] {
+				return nil, fmt.Errorf("model: global vertex %d owned by two shards", v)
+			}
+			assigned[v] = true
+			sc.shardOf[v] = int32(s)
+			sc.localOf[v] = int32(l)
+		}
+	}
+	// Bijection: n ids over n slots with no duplicates covers everything.
+
+	deg := make([]int64, n+1)
+	for i, e := range boundary {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= n || int(v) >= n {
+			return nil, fmt.Errorf("model: boundary edge %d endpoint out of range", i)
+		}
+		if u == v {
+			return nil, fmt.Errorf("model: boundary edge %d is a self-loop on %d", i, u)
+		}
+		if sc.shardOf[u] == sc.shardOf[v] {
+			return nil, fmt.Errorf("model: boundary edge %d (%d,%d) lies inside shard %d", i, u, v, sc.shardOf[u])
+		}
+		deg[u+1]++
+		deg[v+1]++
+	}
+	sc.bOff = make([]int64, n+1)
+	for v := 1; v <= n; v++ {
+		sc.bOff[v] = sc.bOff[v-1] + deg[v]
+	}
+	sc.bAdj = make([]int32, sc.bOff[n])
+	cursor := make([]int64, n)
+	copy(cursor, sc.bOff[:n])
+	for _, e := range boundary {
+		u, v := e[0], e[1]
+		sc.bAdj[cursor[u]] = v
+		cursor[u]++
+		sc.bAdj[cursor[v]] = u
+		cursor[v]++
+	}
+	for v := 0; v < n; v++ {
+		w := sc.bAdj[sc.bOff[v]:sc.bOff[v+1]]
+		slices.Sort(w)
+		for i := 1; i < len(w); i++ {
+			if w[i] == w[i-1] {
+				return nil, fmt.Errorf("model: duplicate boundary edge (%d,%d)", v, w[i])
+			}
+		}
+	}
+	return sc, nil
+}
+
+// NumNodes returns the number of global leaf vertices.
+func (sc *ShardedCompiled) NumNodes() int { return sc.n }
+
+// NumShards returns the number of shards.
+func (sc *ShardedCompiled) NumShards() int { return len(sc.shards) }
+
+// Shard returns shard s's compiled summary (in shard-local ids).
+func (sc *ShardedCompiled) Shard(s int) *CompiledSummary { return sc.shards[s] }
+
+// ShardOf returns the shard owning global vertex v.
+func (sc *ShardedCompiled) ShardOf(v int32) int32 { return sc.shardOf[v] }
+
+// NumBoundaryEdges returns the number of cross-shard edges.
+func (sc *ShardedCompiled) NumBoundaryEdges() int { return sc.boundary }
+
+// NumSupernodes returns the total supernode count across shards.
+func (sc *ShardedCompiled) NumSupernodes() int {
+	total := 0
+	for _, cs := range sc.shards {
+		total += cs.NumSupernodes()
+	}
+	return total
+}
+
+// NumSuperedges returns the total superedge count across shards.
+func (sc *ShardedCompiled) NumSuperedges() int {
+	total := 0
+	for _, cs := range sc.shards {
+		total += cs.NumSuperedges()
+	}
+	return total
+}
+
+// Version returns 0: a sharded compilation is immutable, so every
+// query observes the same snapshot (the counterpart of
+// DeltaOverlay.Version for cache keying).
+func (sc *ShardedCompiled) Version() uint64 { return 0 }
+
+// boundaryOf returns v's sorted cross-shard neighbors (global ids).
+func (sc *ShardedCompiled) boundaryOf(v int32) []int32 {
+	return sc.bAdj[sc.bOff[v]:sc.bOff[v+1]]
+}
+
+// ShardedCtx is the per-goroutine query context for a ShardedCompiled:
+// per-shard compiled contexts (acquired lazily, kept across queries)
+// plus a merge buffer. Not safe for concurrent use; acquire one per
+// goroutine or traversal.
+type ShardedCtx struct {
+	sc   *ShardedCompiled
+	ctxs []*QueryCtx
+	out  []int32
+}
+
+// AcquireCtx borrows a query context from the pool. Release it with
+// ReleaseCtx.
+func (sc *ShardedCompiled) AcquireCtx() *ShardedCtx {
+	if v := sc.ctxPool.Get(); v != nil {
+		return v.(*ShardedCtx)
+	}
+	return &ShardedCtx{sc: sc, ctxs: make([]*QueryCtx, len(sc.shards))}
+}
+
+// ReleaseCtx returns a context to the pool. The per-shard compiled
+// contexts stay attached, so a recycled context queries warm.
+func (sc *ShardedCompiled) ReleaseCtx(ctx *ShardedCtx) { sc.ctxPool.Put(ctx) }
+
+// shardCtx returns the compiled context for shard s, acquiring it on
+// first use.
+func (c *ShardedCtx) shardCtx(s int32) *QueryCtx {
+	if c.ctxs[s] == nil {
+		c.ctxs[s] = c.sc.shards[s].AcquireCtx()
+	}
+	return c.ctxs[s]
+}
+
+// NeighborsOf returns the sorted global neighbors of leaf v: the owning
+// shard's compiled answer translated to global ids, merged with v's
+// boundary adjacency (the two sets are disjoint by construction). The
+// result aliases the context's buffer and is valid until the next call;
+// copy it to retain it.
+func (c *ShardedCtx) NeighborsOf(v int32) []int32 {
+	sc := c.sc
+	s := sc.shardOf[v]
+	local := c.shardCtx(s).NeighborsOf(sc.localOf[v])
+	gid := sc.globalID[s]
+	bnd := sc.boundaryOf(v)
+	c.out = c.out[:0]
+	i, j := 0, 0
+	for i < len(local) && j < len(bnd) {
+		if g := gid[local[i]]; g < bnd[j] {
+			c.out = append(c.out, g)
+			i++
+		} else {
+			c.out = append(c.out, bnd[j])
+			j++
+		}
+	}
+	for ; i < len(local); i++ {
+		c.out = append(c.out, gid[local[i]])
+	}
+	c.out = append(c.out, bnd[j:]...)
+	return c.out
+}
+
+// Degree returns the number of neighbors of global leaf v.
+func (c *ShardedCtx) Degree(v int32) int {
+	sc := c.sc
+	s := sc.shardOf[v]
+	return c.shardCtx(s).Degree(sc.localOf[v]) + len(sc.boundaryOf(v))
+}
+
+// HasEdge reports whether the represented graph contains {u,v}: the
+// owning shard's point query when both endpoints share a shard, a
+// binary search of the smaller boundary window otherwise.
+func (c *ShardedCtx) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	sc := c.sc
+	su, sv := sc.shardOf[u], sc.shardOf[v]
+	if su == sv {
+		return c.shardCtx(su).HasEdge(sc.localOf[u], sc.localOf[v])
+	}
+	return sc.boundaryHasEdge(u, v)
+}
+
+// boundaryHasEdge searches the smaller endpoint window for the other
+// endpoint.
+func (sc *ShardedCompiled) boundaryHasEdge(u, v int32) bool {
+	wu, wv := sc.boundaryOf(u), sc.boundaryOf(v)
+	w, target := wu, v
+	if len(wv) < len(wu) {
+		w, target = wv, u
+	}
+	i := sort.Search(len(w), func(i int) bool { return w[i] >= target })
+	return i < len(w) && w[i] == target
+}
+
+// NeighborsOf is the context-free convenience form: it returns a
+// freshly allocated copy of the neighbor list, safe to retain. Safe for
+// concurrent callers.
+func (sc *ShardedCompiled) NeighborsOf(v int32) []int32 {
+	ctx := sc.AcquireCtx()
+	out := slices.Clone(ctx.NeighborsOf(v))
+	sc.ReleaseCtx(ctx)
+	return out
+}
+
+// HasEdge is the context-free convenience form of ShardedCtx.HasEdge.
+// Safe for concurrent callers.
+func (sc *ShardedCompiled) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if sc.shardOf[u] != sc.shardOf[v] {
+		return sc.boundaryHasEdge(u, v) // no context needed
+	}
+	ctx := sc.AcquireCtx()
+	ok := ctx.HasEdge(u, v)
+	sc.ReleaseCtx(ctx)
+	return ok
+}
+
+// NeighborsBatch decompresses the neighborhoods of vs in order through
+// one pooled context, invoking visit with each vertex and its sorted
+// global neighbors. The nbrs slice is only valid during the callback.
+func (sc *ShardedCompiled) NeighborsBatch(vs []int32, visit func(v int32, nbrs []int32)) {
+	ctx := sc.AcquireCtx()
+	defer sc.ReleaseCtx(ctx)
+	for _, v := range vs {
+		visit(v, ctx.NeighborsOf(v))
+	}
+}
+
+// Decode reconstructs the full represented graph (all shards plus the
+// boundary sidecar) in global ids.
+func (sc *ShardedCompiled) Decode() *graph.Graph {
+	b := graph.NewBuilder(sc.n)
+	ctx := sc.AcquireCtx()
+	defer sc.ReleaseCtx(ctx)
+	for v := int32(0); v < int32(sc.n); v++ {
+		for _, u := range ctx.NeighborsOf(v) {
+			if u > v {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}

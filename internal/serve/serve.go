@@ -10,6 +10,11 @@
 // insertions and deletions into a delta overlay on the compiled base
 // (readers stay lock-free via atomic snapshot swap), and a background
 // compaction re-summarizes once the overlay grows past its threshold.
+//
+// A server built with NewSharded serves a federated sharded summary
+// (one compiled summary per graph partition plus a boundary-edge
+// sidecar) through the same endpoints: queries route to the owning
+// shard and merge boundary edges, and /stats reports per-shard sizes.
 package serve
 
 import (
@@ -36,13 +41,29 @@ const (
 	maxBatchItems = 10000
 )
 
-// Server answers graph queries against one summary: either a frozen
-// compiled snapshot (New) or a live, updatable one (NewLive).
+// View is the read surface every request handler consumes: one
+// immutable snapshot of a served graph. It is implemented by
+// *model.DeltaOverlay (a single summary, possibly live) and by
+// *model.ShardedCompiled (a federation of per-shard summaries), so the
+// endpoints are identical whether the data path is monolithic or
+// sharded.
+type View interface {
+	NumNodes() int
+	// Version keys the PageRank cache: it must change whenever the
+	// represented graph does (immutable views may always return 0).
+	Version() uint64
+	HasEdge(u, v int32) bool
+	NeighborsBatch(vs []int32, visit func(v int32, nbrs []int32))
+}
+
+// Server answers graph queries against one summary: a frozen compiled
+// snapshot (New), a live updatable one (NewLive), or a sharded
+// federation (NewSharded).
 type Server struct {
-	live   *model.Live         // non-nil for mutable servers
-	static *model.DeltaOverlay // empty overlay over the frozen snapshot
-	n      int                 // leaf vertices (fixed across updates)
-	algo   string              // producing algorithm, reported by /stats when known
+	live   *model.Live // non-nil for mutable servers
+	static View        // frozen snapshot for immutable servers
+	n      int         // leaf vertices (fixed across updates)
+	algo   string      // producing algorithm, reported by /stats when known
 
 	mu        sync.Mutex
 	prCache   map[prKey][]float64
@@ -59,6 +80,18 @@ func New(cs *model.CompiledSummary) *Server {
 	return &Server{
 		static:  model.NewOverlay(cs),
 		n:       cs.NumNodes(),
+		prCache: make(map[prKey][]float64),
+	}
+}
+
+// NewSharded wraps a federated sharded compilation in a read-only
+// query server: every endpoint behaves exactly as with New, with
+// queries routed across shards and the boundary sidecar, and /stats
+// additionally reports per-shard sizes.
+func NewSharded(sc *model.ShardedCompiled) *Server {
+	return &Server{
+		static:  sc,
+		n:       sc.NumNodes(),
 		prCache: make(map[prKey][]float64),
 	}
 }
@@ -83,11 +116,34 @@ func (s *Server) WithAlgorithm(name string) *Server {
 }
 
 // view returns the snapshot to answer the current request from.
-func (s *Server) view() *model.DeltaOverlay {
+func (s *Server) view() View {
 	if s.live != nil {
 		return s.live.View()
 	}
 	return s.static
+}
+
+// newSource adapts a view to the traversal interface graph algorithms
+// run on, returning the source and its release hook.
+func newSource(v View) (algos.NeighborSource, func()) {
+	switch x := v.(type) {
+	case *model.DeltaOverlay:
+		src := algos.OnView(x)
+		return src, src.Release
+	case *model.ShardedCompiled:
+		src := algos.OnSharded(x)
+		return src, src.Release
+	default:
+		// Generic fallback for other View implementations: one batched
+		// lookup per Neighbors call (correct, just not context-pooled).
+		var out []int32
+		return algos.FromFuncs(v.NumNodes(), func(u int32) []int32 {
+			v.NeighborsBatch([]int32{u}, func(_ int32, nbrs []int32) {
+				out = append(out[:0], nbrs...)
+			})
+			return out
+		}), func() {}
+	}
 }
 
 // Handler returns the HTTP routes:
@@ -100,7 +156,7 @@ func (s *Server) view() *model.DeltaOverlay {
 //	GET  /hasedge?u=1&v=2             edge-existence point query
 //	GET  /pagerank?d=0.85&t=20&top=10 top-k PageRank on the summary
 //	POST /update {"u":1,"v":2}        insert/delete edges (mutable servers;
-//	     or {"updates":[...]})        read-only servers answer 403)
+//	     or {"updates":[...]})        read-only servers answer 405)
 //
 // Request bodies are capped at maxRequestBody bytes; oversized payloads
 // are rejected with 413.
@@ -215,10 +271,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		stats["overlay"] = overlay
 	} else {
-		base := s.static.Base()
-		stats["nodes"] = base.NumNodes()
-		stats["supernodes"] = base.NumSupernodes()
-		stats["superedges"] = base.NumSuperedges()
+		switch v := s.static.(type) {
+		case *model.DeltaOverlay:
+			base := v.Base()
+			stats["nodes"] = base.NumNodes()
+			stats["supernodes"] = base.NumSupernodes()
+			stats["superedges"] = base.NumSuperedges()
+		case *model.ShardedCompiled:
+			stats["nodes"] = v.NumNodes()
+			stats["supernodes"] = v.NumSupernodes()
+			stats["superedges"] = v.NumSuperedges()
+			stats["sharded"] = true
+			stats["boundary_edges"] = v.NumBoundaryEdges()
+			shards := make([]map[string]any, v.NumShards())
+			for i := range shards {
+				cs := v.Shard(i)
+				shards[i] = map[string]any{
+					"shard":      i,
+					"nodes":      cs.NumNodes(),
+					"supernodes": cs.NumSupernodes(),
+					"superedges": cs.NumSuperedges(),
+				}
+			}
+			stats["shards"] = shards
+		default:
+			stats["nodes"] = s.n
+		}
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -327,7 +405,12 @@ type updateRequest struct {
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.live == nil {
-		httpError(w, http.StatusForbidden, "server is read-only; restart with -mutable to accept updates")
+		// 405, not a fallthrough 404: the route exists, but no method on
+		// it is allowed while the server is immutable. RFC 9110 requires
+		// an Allow header on every 405; the empty list states that no
+		// method is currently allowed on the resource.
+		w.Header().Set("Allow", "")
+		httpError(w, http.StatusMethodNotAllowed, "server is read-only; restart with -mutable to accept updates")
 		return
 	}
 	var req updateRequest
@@ -391,7 +474,7 @@ const maxPRCacheEntries = 32
 // never blocks hits on other keys; concurrent first requests for one
 // key may compute it more than once, which is benign (identical
 // results, bounded work).
-func (s *Server) pageRank(view *model.DeltaOverlay, d float64, t int) []float64 {
+func (s *Server) pageRank(view View, d float64, t int) []float64 {
 	key := prKey{d: d, t: t}
 	s.mu.Lock()
 	// Advance strictly monotonically: a slow request holding an older
@@ -408,9 +491,9 @@ func (s *Server) pageRank(view *model.DeltaOverlay, d float64, t int) []float64 
 		}
 	}
 	s.mu.Unlock()
-	src := algos.OnView(view)
+	src, release := newSource(view)
 	r := algos.PageRank(src, d, t)
-	src.Release()
+	release()
 	s.mu.Lock()
 	if s.prVersion == view.Version() {
 		if len(s.prCache) >= maxPRCacheEntries {

@@ -230,10 +230,36 @@ func TestUpdateEndpoint(t *testing.T) {
 	post(t, ts, "/update", `not json`, http.StatusBadRequest, nil)
 }
 
+// TestUpdateReadOnlyServer checks that POST /update on an immutable
+// server answers 405 Method Not Allowed (the route exists but nothing
+// is allowed on it) with a JSON error body — not a fallthrough 404 and
+// not a silent drop.
 func TestUpdateReadOnlyServer(t *testing.T) {
 	ts := httptest.NewServer(testServer().Handler())
 	defer ts.Close()
-	post(t, ts, "/update", `{"u":0,"v":1}`, http.StatusForbidden, nil)
+	resp, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader(`{"u":0,"v":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	// RFC 9110: every 405 carries Allow; the empty list means no method
+	// is currently allowed on the resource.
+	if _, ok := resp.Header["Allow"]; !ok {
+		t.Fatal("405 response missing the Allow header")
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding error body: %v", err)
+	}
+	if body["error"] == "" {
+		t.Fatalf("error body = %v, want a populated \"error\" field", body)
+	}
 }
 
 func TestUpdateTriggersPageRankRecompute(t *testing.T) {
@@ -329,6 +355,132 @@ func TestRunGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("Run did not return after cancellation")
+	}
+}
+
+// shardedTestServer partitions a generated graph, wraps each shard in
+// a trivial exact compiled summary, and serves the federation.
+func shardedTestServer(t *testing.T, g *graph.Graph, k int) *Server {
+	t.Helper()
+	p, err := graph.PartitionGraph(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*model.CompiledSummary, k)
+	for s, sub := range p.Subgraphs {
+		n := sub.NumNodes()
+		parent := make([]int32, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		var edges []model.Edge
+		sub.ForEachEdge(func(u, v int32) { edges = append(edges, model.Edge{A: u, B: v, Sign: 1}) })
+		shards[s] = model.New(n, parent, edges).Compile()
+	}
+	sc, err := model.NewShardedCompiled(shards, p.GlobalID, p.Boundary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSharded(sc)
+}
+
+// TestShardedServerParity runs the full endpoint surface against a
+// sharded server and checks every answer against the raw graph: the
+// endpoints must be indistinguishable from an unsharded server.
+func TestShardedServerParity(t *testing.T) {
+	g := graph.ErdosRenyi(60, 240, 7)
+	ts := httptest.NewServer(shardedTestServer(t, g, 4).WithAlgorithm("slugger").Handler())
+	defer ts.Close()
+
+	var stats struct {
+		Algorithm     string `json:"algorithm"`
+		Nodes         int    `json:"nodes"`
+		Sharded       bool   `json:"sharded"`
+		BoundaryEdges int    `json:"boundary_edges"`
+		Shards        []struct {
+			Shard int `json:"shard"`
+			Nodes int `json:"nodes"`
+		} `json:"shards"`
+	}
+	get(t, ts, "/stats", http.StatusOK, &stats)
+	if !stats.Sharded || stats.Nodes != 60 || len(stats.Shards) != 4 || stats.Algorithm != "slugger" {
+		t.Fatalf("sharded stats = %+v", stats)
+	}
+	total := 0
+	for _, sh := range stats.Shards {
+		total += sh.Nodes
+	}
+	if total != 60 {
+		t.Fatalf("per-shard nodes sum to %d, want 60", total)
+	}
+
+	for v := 0; v < g.NumNodes(); v++ {
+		var nbrs NeighborsResult
+		get(t, ts, fmt.Sprintf("/neighbors?v=%d", v), http.StatusOK, &nbrs)
+		if fmt.Sprint(nbrs.Neighbors) != fmt.Sprint(g.Neighbors(int32(v))) {
+			t.Fatalf("neighbors(%d) = %v, want %v", v, nbrs.Neighbors, g.Neighbors(int32(v)))
+		}
+	}
+	var edge map[string]any
+	g.ForEachEdge(func(u, v int32) {
+		get(t, ts, fmt.Sprintf("/hasedge?u=%d&v=%d", u, v), http.StatusOK, &edge)
+		if edge["exists"] != true {
+			t.Fatalf("hasedge(%d,%d) = false across shards", u, v)
+		}
+	})
+
+	var pr struct {
+		Top []RankedVertex `json:"top"`
+	}
+	get(t, ts, "/pagerank?top=5", http.StatusOK, &pr)
+	if len(pr.Top) != 5 {
+		t.Fatalf("pagerank top = %+v", pr.Top)
+	}
+
+	// Sharded servers are immutable: updates answer 405.
+	post(t, ts, "/update", `{"u":0,"v":1}`, http.StatusMethodNotAllowed, nil)
+	// Bad input handling is unchanged.
+	get(t, ts, "/neighbors?v=999", http.StatusBadRequest, nil)
+}
+
+// TestShardedServerConcurrentRequests exercises the federated query
+// path under concurrent load; with -race it checks the per-shard
+// context pooling behind one HTTP server.
+func TestShardedServerConcurrentRequests(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 11)
+	ts := httptest.NewServer(shardedTestServer(t, g, 4).Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				v := (w*13 + i) % g.NumNodes()
+				var nbrs NeighborsResult
+				resp, err := http.Get(fmt.Sprintf("%s/neighbors?v=%d", ts.URL, v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&nbrs)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if fmt.Sprint(nbrs.Neighbors) != fmt.Sprint(g.Neighbors(int32(v))) {
+					errs <- fmt.Errorf("neighbors(%d) diverged under load", v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }
 

@@ -155,6 +155,9 @@ func ReadFrom(r io.Reader) (Artifact, error) {
 		}
 		return NewHierarchical("slugger", s), nil
 	}
+	if string(peek) == shardedMagic {
+		return nil, ErrShardedArtifact
+	}
 	if string(peek) != envelopeMagic {
 		return nil, fmt.Errorf("slug: bad artifact magic %q", peek)
 	}
@@ -199,8 +202,9 @@ func ReadFrom(r io.Reader) (Artifact, error) {
 	}
 }
 
-// Save writes an artifact to a file.
-func Save(path string, a Artifact) error {
+// Save writes an artifact (sharded or not: anything serializing
+// through WriteTo, such as an Artifact or a *Sharded) to a file.
+func Save(path string, a io.WriterTo) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -232,7 +236,12 @@ func Validate(a Artifact, g *graph.Graph) error {
 		// without materializing the decoded graph.
 		return h.Summary.Validate(g)
 	}
-	dec := a.Decode()
+	return compareDecoded(a.Decode(), g)
+}
+
+// compareDecoded checks a decoded graph against the input edge for
+// edge, naming the first discrepancy.
+func compareDecoded(dec, g *graph.Graph) error {
 	if dec.NumNodes() != g.NumNodes() {
 		return fmt.Errorf("slug: decoded graph has %d nodes, input has %d", dec.NumNodes(), g.NumNodes())
 	}

@@ -13,7 +13,8 @@ type buildConfig struct {
 	seed        int64
 	workers     int // merge-phase worker pool size (slugger)
 	progress    func(Event)
-	compaction  int // updatable-artifact compaction threshold (NewUpdatable)
+	compaction  int    // updatable-artifact compaction threshold (NewUpdatable)
+	algorithm   string // per-shard algorithm (SummarizeSharded)
 }
 
 func resolve(opts []Option) buildConfig {
@@ -57,6 +58,14 @@ func WithWorkers(n int) Option {
 // Summarize calls ignore it.
 func WithCompactionThreshold(n int) Option {
 	return func(cfg *buildConfig) { cfg.compaction = n }
+}
+
+// WithAlgorithm selects, for sharded builds (SummarizeSharded), the
+// registered algorithm run on every shard (default "slugger").
+// Summarizer.Summarize calls ignore it — there the receiver is the
+// algorithm.
+func WithAlgorithm(name string) Option {
+	return func(cfg *buildConfig) { cfg.algorithm = name }
 }
 
 // WithProgress registers a callback receiving build progress Events.

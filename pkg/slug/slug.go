@@ -26,6 +26,12 @@
 //	slug.Save("out.slga", art)
 //	art2, _ := slug.Load("out.slga")   // algorithm tag survives
 //	cs, _ := art2.Queryable()          // serve it: cs.NeighborsOf(v), ...
+//
+// For large graphs the sharded path runs the same pipeline
+// partition-parallel: [SummarizeSharded] cuts the graph into k shards,
+// summarizes them concurrently and returns a [*Sharded] artifact whose
+// Queryable federates per-shard compiled engines behind the global id
+// space (see the package-level docs in sharded.go).
 package slug
 
 import (

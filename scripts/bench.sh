@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_4.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_5.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -13,15 +13,18 @@
 #   BENCHTIME_UPDATE go-test benchtime for the overlay-apply side of the
 #                    update-throughput pair (default 200x; the full-rebuild
 #                    side always runs 5x)
+#   BENCHTIME_SHARD go-test benchtime for the sharded-vs-single build pair
+#                   (default 3x)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_4.json}
+OUT=${1:-BENCH_5.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
 API=${BENCHTIME_API:-5x}
 UPDATE=${BENCHTIME_UPDATE:-200x}
+SHARD=${BENCHTIME_SHARD:-3x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -51,6 +54,12 @@ go test -run '^$' -bench 'BenchmarkUpdateOverlayApply$' -benchmem \
 go test -run '^$' -bench 'BenchmarkUpdateFullRebuild$' -benchmem \
   -benchtime 5x -timeout 20m . | tee -a "$TMP/update.txt"
 
+echo "== sharded data path: partition-parallel build vs single pass (benchtime=$SHARD) =="
+go test -run '^$' -bench 'BenchmarkShardedBuildSingle$|BenchmarkShardedBuildK4$' -benchmem \
+  -benchtime "$SHARD" -timeout 20m . | tee "$TMP/shard.txt"
+go test -run '^$' -bench 'BenchmarkShardedNeighborsOf$' -benchmem \
+  -benchtime "$QUERY" -timeout 20m . | tee -a "$TMP/shard.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -59,7 +68,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -98,7 +107,16 @@ doc = {
              "delta overlay) vs BenchmarkUpdateFullRebuild (one op = "
              "summarize+compile absorbing a 100-update batch) is the live-"
              "maintenance pair: per absorbed update the overlay must be "
-             ">=10x faster than the rebuild (PR-4 acceptance bar)."),
+             ">=10x faster than the rebuild (PR-4 acceptance bar). "
+             "BenchmarkShardedBuildSingle vs BenchmarkShardedBuildK4 is the "
+             "partition-parallel pair on a community-structured graph: the "
+             "sharded build must be measurably faster on multi-core (PR-5 "
+             "acceptance bar; on 1 CPU the sharded side still wins here "
+             "because per-shard candidate groups no longer span "
+             "communities, but only the multi-core reading is normative). "
+             "BenchmarkShardedNeighborsOf measures the federated query "
+             "router against BenchmarkNeighborQueryCompiled's single-"
+             "engine baseline."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
