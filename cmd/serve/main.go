@@ -9,6 +9,8 @@
 //	serve -summary out.slga [-addr :8080] [-mutable [-compact 10000]]
 //	serve -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-workers 4] [-addr :8080]
 //	serve -in graph.txt -shards 4 [-workers 8] [-addr :8080]
+//	serve -summary out.slga -mutable -wal-dir /var/lib/slug [-fsync always]
+//	serve -mutable -wal-dir /var/lib/slug   (restart: recover from the log alone)
 //
 // With -shards k > 1 the graph is partitioned into k shards summarized
 // concurrently under the -workers budget, and queries are served
@@ -26,9 +28,17 @@
 // use the same -t/-hb/-seed/-workers knobs — when serving a loaded
 // -summary artifact mutably, pass the flags it was originally built
 // with, or the first compaction re-summarizes under the defaults.
-// Endpoints:
+//
+// With -wal-dir every acknowledged update is appended to a write-ahead
+// log (fsynced per -fsync) before it becomes visible, compactions
+// checkpoint the rebuilt base into the same directory, and a restart —
+// clean or after a crash — recovers the exact acknowledged state. A
+// populated -wal-dir can be served without -summary/-in. -max-inflight
+// bounds concurrent request execution, shedding the excess with 429
+// instead of queueing without limit. Endpoints:
 //
 //	GET  /healthz
+//	GET  /readyz
 //	GET  /stats
 //	GET  /neighbors?v=3          (or v=3,7,9 for a batch)
 //	POST /neighbors              ({"v":[3,7,9]} JSON batch)
@@ -73,12 +83,22 @@ func main() {
 		compact = flag.Int("compact", 10000, "with -mutable: overlay corrections that trigger a background re-summarize (0 = never: the overlay then grows without bound and per-update cost grows with it; pair with manual offline compaction)")
 		shards  = flag.Int("shards", 1, "partition -in into this many shards, summarize them concurrently and serve the federation (1 = unsharded; incompatible with -mutable)")
 		addr    = flag.String("addr", ":8080", "listen address")
+
+		walDir      = flag.String("wal-dir", "", "with -mutable: write-ahead-log directory — acknowledged updates are persisted there and recovered on restart (with a populated directory, -summary/-in are optional: the state comes from the log)")
+		fsync       = flag.String("fsync", "always", "with -wal-dir: fsync policy — always (no acknowledged update is ever lost), interval[=dur] (batched, bounded loss window), never (OS writeback)")
+		maxInflight = flag.Int("max-inflight", 0, "bound on concurrently executing requests; excess requests queue briefly and are then shed with 429 (0 = unbounded)")
 	)
 	flag.Parse()
 	if *shards > 1 && *mutable {
 		// Reject the flag conflict before any work: a large sharded build
 		// can take minutes and would otherwise be thrown away.
 		log.Fatal("sharded serving is immutable: -shards and -mutable are incompatible (serve unsharded, or rebuild shards offline)")
+	}
+	if *walDir != "" && !*mutable {
+		log.Fatal("-wal-dir persists live updates: it requires -mutable")
+	}
+	if *walDir != "" && *shards > 1 {
+		log.Fatal("-wal-dir and -shards are incompatible (sharded serving is immutable)")
 	}
 
 	// Ctrl-C / SIGTERM cancels a running build and gracefully drains the
@@ -151,8 +171,12 @@ func main() {
 			art = a
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		if *walDir == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		// No -summary, no -in, but a WAL directory: recover everything —
+		// base and update suffix — from the log alone.
 	}
 
 	if sh != nil {
@@ -182,28 +206,61 @@ func main() {
 		return
 	}
 
-	start := time.Now()
-	cs, err := art.Queryable()
-	if err != nil {
-		log.Fatalf("compiling artifact: %v", err)
-	}
-	fmt.Printf("compiled %d vertices / %d supernodes / %d superedges in %s\n",
-		cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
-		time.Since(start).Round(time.Millisecond))
-
-	var srv *serve.Server
+	var (
+		srv      *serve.Server
+		algoName string
+	)
 	if *mutable {
+		if *walDir != "" {
+			pol, err := slug.ParseSyncPolicy(*fsync)
+			if err != nil {
+				log.Fatalf("parsing -fsync: %v", err)
+			}
+			opts = append(opts, slug.WithDurability(*walDir, pol))
+		}
+		start := time.Now()
 		up, err := slug.NewUpdatable(art, opts...)
 		if err != nil {
 			log.Fatalf("making artifact updatable: %v", err)
 		}
+		defer up.Close()
+		cs, err := up.Queryable()
+		if err != nil {
+			log.Fatalf("compiling artifact: %v", err)
+		}
+		fmt.Printf("compiled %d vertices / %d supernodes / %d superedges in %s\n",
+			cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
+			time.Since(start).Round(time.Millisecond))
+		if ds := up.Durability(); ds.Enabled {
+			fmt.Printf("durable: WAL at %s (fsync %s), recovered checkpoint=%v + %d update batches\n",
+				ds.Dir, ds.Policy, ds.RecoveredCheckpoint, ds.RecoveredRecords)
+			if ds.RecoveryTruncated {
+				fmt.Println("durable: torn log tail truncated during recovery (unacknowledged records only)")
+			}
+		}
 		srv = serve.NewLive(up.Live())
+		algoName = up.Algorithm()
 		fmt.Printf("mutable: POST /update accepted (compaction threshold %d)\n", *compact)
 	} else {
+		start := time.Now()
+		cs, err := art.Queryable()
+		if err != nil {
+			log.Fatalf("compiling artifact: %v", err)
+		}
+		fmt.Printf("compiled %d vertices / %d supernodes / %d superedges in %s\n",
+			cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
+			time.Since(start).Round(time.Millisecond))
 		srv = serve.New(cs)
+		algoName = art.Algorithm()
 	}
-	fmt.Printf("listening on %s (algorithm %s)\n", *addr, art.Algorithm())
-	if err := srv.WithAlgorithm(art.Algorithm()).Run(ctx, *addr); err != nil {
+	if *maxInflight > 0 {
+		// Queue as many as run; a queued request waits at most a second
+		// before the client is told to back off.
+		srv.WithAdmission(*maxInflight, *maxInflight, time.Second)
+		fmt.Printf("admission: max %d in-flight requests, overflow answers 429\n", *maxInflight)
+	}
+	fmt.Printf("listening on %s (algorithm %s)\n", *addr, algoName)
+	if err := srv.WithAlgorithm(algoName).Run(ctx, *addr); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("shut down cleanly")

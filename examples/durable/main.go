@@ -1,0 +1,127 @@
+// Durability: acknowledged updates survive a crash. A summary is made
+// updatable with a write-ahead log attached; every effective update
+// batch is persisted before it becomes visible, compaction checkpoints
+// the rebuilt base, and reopening the directory — after a clean close
+// or a kill -9 — recovers the exact acknowledged state.
+//
+// The "crash" here is simulated honestly: the first updatable is
+// abandoned without Close, so nothing is flushed on the way out and
+// recovery can only rely on what the log promised at ack time.
+//
+// Run with:
+//
+//	go run ./examples/durable
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/pkg/slug"
+)
+
+func main() {
+	g := graph.Caveman(6, 10, 8, 42)
+	fmt.Printf("snapshot: %d people, %d friendships\n", g.NumNodes(), g.NumEdges())
+
+	opts := []slug.Option{slug.WithIterations(10), slug.WithSeed(1)}
+	art, err := slug.Get("slugger").Summarize(context.Background(), g, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "slug-wal-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Attach a write-ahead log. SyncAlways fsyncs every record before
+	// the update is acknowledged: nothing acked is ever lost. For write-
+	// heavy workloads, slug.SyncInterval(50*time.Millisecond) batches
+	// syncs (~1800x cheaper appends) at the price of a bounded window of
+	// acked-but-unsynced updates on power loss.
+	durableOpts := append(opts, slug.WithDurability(dir, slug.SyncAlways()))
+	live, err := slug.NewUpdatable(art, durableOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The graph changes, and every change is acknowledged durably:
+	// by the time ApplyUpdates returns, the batch is on disk.
+	batches := [][]model.EdgeUpdate{
+		{{U: 0, V: 15}, {U: 0, V: 25}},
+		{{U: 0, V: 35}},
+		{{U: 0, V: 1, Delete: true}, {U: 2, V: 3, Delete: true}},
+	}
+	for _, b := range batches {
+		if _, err := live.ApplyUpdates(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ds := live.Durability()
+	fmt.Printf("\nlogged %d batches to %s (fsync %s, last LSN %d)\n",
+		ds.Appends, dir, ds.Policy, ds.LastLSN)
+
+	// Ground truth recovery must reproduce byte for byte: a separate,
+	// never-crashed (and never-logged) updatable applying the same
+	// batches. (Asking the durable one to WriteTo would also work, but
+	// serialization compacts — and compaction checkpoints — which would
+	// leave recovery nothing to replay and spoil the demonstration.)
+	reference, err := slug.NewUpdatable(art, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := reference.ApplyUpdates(b); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var want bytes.Buffer
+	if _, err := reference.WriteTo(&want); err != nil {
+		log.Fatal(err)
+	}
+
+	// CRASH. No Close, no flush, no goodbye — the updatable is simply
+	// abandoned, like a process that took a kill -9.
+	live = nil
+	fmt.Println("\n-- crash: process gone without Close --")
+
+	// Recovery: the directory alone is enough — checkpoint plus logged
+	// update suffix reconstruct the full state. (Passing the original
+	// artifact also works; a committed checkpoint overrides it.)
+	recovered, err := slug.OpenUpdatable(dir, slug.SyncAlways(), opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer recovered.Close()
+	rds := recovered.Durability()
+	fmt.Printf("recovered: checkpoint=%v, replayed %d update batches\n",
+		rds.RecoveredCheckpoint, rds.RecoveredRecords)
+
+	// The recovered state is byte-identical to the never-crashed one.
+	var got bytes.Buffer
+	if _, err := recovered.WriteTo(&got); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		log.Fatal("recovered artifact differs from the never-crashed one") // never happens
+	}
+	fmt.Println("parity: recovered artifact == never-crashed artifact, byte for byte")
+
+	view := recovered.View()
+	fmt.Printf("person 0's friends after recovery: %v\n", view.NeighborsOf(0))
+	fmt.Printf("0 and 1 still friends? %v (deleted pre-crash)\n", view.HasEdge(0, 1))
+
+	// Life goes on: the recovered updatable keeps accepting durable
+	// updates, and a clean Close flushes and releases the log.
+	if _, err := recovered.ApplyUpdates([]model.EdgeUpdate{{U: 1, V: 15}}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("post-recovery update acked at LSN %d\n", recovered.Durability().LastLSN)
+}

@@ -1,0 +1,70 @@
+package model
+
+// WAL payload codec for update batches. One acknowledged ApplyUpdates
+// batch becomes one log record, so replay preserves batch atomicity:
+// a torn tail can drop a whole batch but never half of one.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeUpdates serializes an update batch into a self-contained WAL
+// payload: a uvarint count followed by (uvarint U, uvarint V, flag
+// byte) per update. Endpoints are non-negative by validation, so the
+// uvarint encoding is lossless and compact for the small IDs that
+// dominate real streams.
+func EncodeUpdates(ups []EdgeUpdate) []byte {
+	buf := make([]byte, 0, 1+len(ups)*5)
+	buf = binary.AppendUvarint(buf, uint64(len(ups)))
+	for _, up := range ups {
+		buf = binary.AppendUvarint(buf, uint64(uint32(up.U)))
+		buf = binary.AppendUvarint(buf, uint64(uint32(up.V)))
+		if up.Delete {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// DecodeUpdates parses a payload produced by EncodeUpdates. The payload
+// must be exactly one batch: trailing bytes are an error, as is any
+// truncation (the WAL layer guarantees whole-record delivery, so either
+// indicates corruption or a version skew).
+func DecodeUpdates(b []byte) ([]EdgeUpdate, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("model: update batch header unreadable")
+	}
+	b = b[n:]
+	if count > uint64(len(b)) { // ≥3 bytes per update; cheap bound before allocating
+		return nil, fmt.Errorf("model: update batch claims %d updates in %d bytes", count, len(b))
+	}
+	ups := make([]EdgeUpdate, 0, count)
+	for i := uint64(0); i < count; i++ {
+		u, n := binary.Uvarint(b)
+		if n <= 0 || u > 1<<31-1 {
+			return nil, fmt.Errorf("model: update %d: bad U endpoint", i)
+		}
+		b = b[n:]
+		v, n := binary.Uvarint(b)
+		if n <= 0 || v > 1<<31-1 {
+			return nil, fmt.Errorf("model: update %d: bad V endpoint", i)
+		}
+		b = b[n:]
+		if len(b) == 0 {
+			return nil, fmt.Errorf("model: update %d: missing delete flag", i)
+		}
+		if b[0] > 1 {
+			return nil, fmt.Errorf("model: update %d: delete flag %d", i, b[0])
+		}
+		ups = append(ups, EdgeUpdate{U: int32(u), V: int32(v), Delete: b[0] == 1})
+		b = b[1:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("model: %d trailing bytes after update batch", len(b))
+	}
+	return ups, nil
+}

@@ -297,6 +297,33 @@ func (o *DeltaOverlay) Decode() *graph.Graph {
 // model package stays independent of the summarizers.
 type RebuildFunc func(g *graph.Graph) (*CompiledSummary, error)
 
+// Durability is the write-ahead persistence sink a Live summary routes
+// acknowledged mutations through. The model package owns the ordering —
+// append before publish, checkpoint after commit — while the concrete
+// log (typically internal/wal via pkg/slug) stays injected.
+type Durability struct {
+	// Append persists one effective update batch and returns its log
+	// sequence number. Called under the writer lock, before the batch
+	// is published to readers: an error here means the batch was never
+	// applied and must not be acknowledged.
+	Append func(ups []EdgeUpdate) (uint64, error)
+	// Checkpoint is invoked after a successful compaction commits its
+	// base swap, with the LSN of the last update batch included in the
+	// rebuilt base. Called without internal locks held, so it may do
+	// I/O; failures are the sink's to record (a missed checkpoint only
+	// lengthens the next replay, it never loses data).
+	Checkpoint func(lsn uint64)
+}
+
+// ErrDurability wraps failures to persist an update batch: the batch
+// was rejected before publication, so callers must not act as if it
+// were applied. Serving layers typically map it to 503.
+var ErrDurability = errors.New("model: durable append failed")
+
+// ErrNoDurability is returned by ApplyUpdatesDurable when no sink is
+// installed: the caller demanded persistence the Live cannot provide.
+var ErrNoDurability = errors.New("model: no durability sink installed")
+
 // LiveStats is a point-in-time snapshot of a Live summary's state.
 type LiveStats struct {
 	Nodes       int
@@ -310,6 +337,10 @@ type LiveStats struct {
 	Threshold   int    // auto-compaction trigger, 0 = manual only
 	Compacting  bool   // a background compaction is in flight
 	LastError   string // most recent compaction failure, "" after success
+
+	CompactionFailures uint64 // failed compaction attempts since creation
+	Durable            bool   // a durability sink is installed
+	DurableLSN         uint64 // LSN of the last persisted batch, 0 = none
 }
 
 // Live maintains a summary that stays queryable while the underlying
@@ -334,8 +365,12 @@ type Live struct {
 
 	applied     uint64
 	compactions uint64
-	lastErr     error // most recent compaction failure, nil after success
-	failedAt    int   // overlay size at the last failure (retry backoff), 0 after success
+	failures    uint64 // failed compaction attempts
+	lastErr     error  // most recent compaction failure, nil after success
+	failedAt    int    // overlay size at the last failure (retry backoff), 0 after success
+
+	durable *Durability
+	lastLSN uint64 // LSN of the last batch routed through the sink
 }
 
 // NewLive wraps a compiled summary for incremental maintenance. With no
@@ -373,6 +408,19 @@ func (l *Live) SetCompactionThreshold(n int) {
 	l.mu.Unlock()
 }
 
+// SetDurability installs the persistence sink. lastLSN is the sequence
+// number already covered by the current state (the recovery floor):
+// the next appended batch is expected to land at lastLSN+1 or later,
+// and the first post-install compaction checkpoints at least lastLSN.
+// Install after replaying recovered records, so replay itself is not
+// re-appended.
+func (l *Live) SetDurability(d Durability, lastLSN uint64) {
+	l.mu.Lock()
+	l.durable = &d
+	l.lastLSN = lastLSN
+	l.mu.Unlock()
+}
+
 // View returns the current snapshot. Lock-free; the snapshot stays
 // valid (and immutable) for as long as the caller holds it, even across
 // concurrent updates and compactions.
@@ -380,17 +428,54 @@ func (l *Live) View() *DeltaOverlay { return l.cur.Load() }
 
 // ApplyUpdates applies a batch of edge mutations and publishes the new
 // snapshot, returning the number of effective updates. Invalid updates
-// (out-of-range endpoints, self-loops) reject the whole batch. When the
-// overlay reaches the compaction threshold a background compaction is
-// started (at most one at a time).
+// (out-of-range endpoints, self-loops) reject the whole batch. With a
+// durability sink installed the batch is appended to the log before it
+// becomes visible — an append failure rejects the batch (ErrDurability)
+// rather than acknowledging unpersisted state. When the overlay reaches
+// the compaction threshold a background compaction is started (at most
+// one at a time).
 func (l *Live) ApplyUpdates(ups []EdgeUpdate) (int, error) {
+	applied, _, err := l.applyUpdates(ups, false)
+	return applied, err
+}
+
+// ApplyUpdatesVersioned is ApplyUpdates returning also the version of
+// the snapshot the batch landed in (the current version when nothing
+// changed), so callers can tell readers which snapshot reflects their
+// write.
+func (l *Live) ApplyUpdatesVersioned(ups []EdgeUpdate) (int, uint64, error) {
+	return l.applyUpdates(ups, false)
+}
+
+// ApplyUpdatesDurable is ApplyUpdatesVersioned that fails with
+// ErrNoDurability when no sink is installed, for callers that must not
+// proceed on a volatile summary.
+func (l *Live) ApplyUpdatesDurable(ups []EdgeUpdate) (int, uint64, error) {
+	return l.applyUpdates(ups, true)
+}
+
+func (l *Live) applyUpdates(ups []EdgeUpdate, mustDurable bool) (int, uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if mustDurable && l.durable == nil {
+		return 0, l.cur.Load().version, ErrNoDurability
+	}
 	nxt, applied, err := l.cur.Load().Apply(ups)
 	if err != nil {
-		return 0, err
+		return 0, l.cur.Load().version, err
 	}
 	if applied > 0 {
+		// Append-then-publish: the batch reaches the log before any
+		// reader can observe it, so an acknowledged write is always
+		// recoverable. No-op batches skip the log entirely — replaying
+		// them would change nothing.
+		if l.durable != nil {
+			lsn, err := l.durable.Append(ups)
+			if err != nil {
+				return 0, l.cur.Load().version, fmt.Errorf("%w: %v", ErrDurability, err)
+			}
+			l.lastLSN = lsn
+		}
 		l.cur.Store(nxt)
 		l.applied += uint64(applied)
 		if l.logging {
@@ -399,62 +484,76 @@ func (l *Live) ApplyUpdates(ups []EdgeUpdate) (int, error) {
 	}
 	if l.threshold > 0 && l.rebuild != nil && !l.compacting &&
 		l.cur.Load().Len() >= l.threshold+l.failedAt {
-		view, rebuild := l.beginCompactionLocked()
-		go l.runCompaction(view, rebuild)
+		view, rebuild, lsn := l.beginCompactionLocked()
+		go l.runCompaction(view, rebuild, lsn)
 	}
-	return applied, nil
+	return applied, l.cur.Load().version, nil
 }
 
 // beginCompactionLocked marks a compaction in flight and returns the
-// view it will rebuild from together with the rebuild function (read
-// under the lock: SetRebuild may race the background goroutine
-// otherwise). Caller must hold l.mu.
-func (l *Live) beginCompactionLocked() (*DeltaOverlay, RebuildFunc) {
+// view it will rebuild from, the rebuild function (read under the lock:
+// SetRebuild may race the background goroutine otherwise), and the LSN
+// of the last durable batch the view covers. Caller must hold l.mu.
+func (l *Live) beginCompactionLocked() (*DeltaOverlay, RebuildFunc, uint64) {
 	l.compacting = true
 	l.logging = true
 	l.log = nil
 	l.compactDone = make(chan struct{})
-	return l.cur.Load(), l.rebuild
+	return l.cur.Load(), l.rebuild, l.lastLSN
 }
 
 // runCompaction materializes the captured view, re-summarizes it, and
 // swaps in the fresh base with the journaled updates replayed on top.
-func (l *Live) runCompaction(view *DeltaOverlay, rebuild RebuildFunc) {
+// After a successful commit it checkpoints the durability sink at
+// ckptLSN — the last batch the captured view covered — outside the
+// lock. The committed base may already include journaled batches beyond
+// ckptLSN; tagging low is safe because updates are absolute set
+// operations, so replaying an already-applied suffix converges.
+func (l *Live) runCompaction(view *DeltaOverlay, rebuild RebuildFunc, ckptLSN uint64) {
 	g := view.Decode()
 	cs, err := rebuild(g)
 	if err == nil && cs.n != view.cs.n {
 		err = fmt.Errorf("model: compaction rebuilt %d vertices, want %d", cs.n, view.cs.n)
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	defer close(l.compactDone)
 	log := l.log
 	l.log = nil
 	l.logging = false
 	l.compacting = false
+	committed := false
 	if err != nil {
 		// Back off: don't retry on every subsequent batch (each attempt
 		// is a full re-summarize) — require another threshold's worth of
 		// overlay growth first.
 		l.lastErr = err
+		l.failures++
 		l.failedAt = l.cur.Load().Len()
-		return
+	} else {
+		fresh := NewOverlay(cs)
+		fresh.version = l.cur.Load().version // Apply bumps it
+		var nxt *DeltaOverlay
+		nxt, _, err = fresh.Apply(log)
+		if err != nil {
+			// Unreachable: every journaled update was validated when first
+			// applied, and validity doesn't depend on the base.
+			l.lastErr = err
+			l.failures++
+		} else {
+			l.cur.Store(nxt)
+			l.compactions++
+			l.lastErr = nil
+			l.failedAt = 0
+			if l.onCompacted != nil {
+				l.onCompacted()
+			}
+			committed = true
+		}
 	}
-	fresh := NewOverlay(cs)
-	fresh.version = l.cur.Load().version // Apply bumps it
-	nxt, _, err := fresh.Apply(log)
-	if err != nil {
-		// Unreachable: every journaled update was validated when first
-		// applied, and validity doesn't depend on the base.
-		l.lastErr = err
-		return
-	}
-	l.cur.Store(nxt)
-	l.compactions++
-	l.lastErr = nil
-	l.failedAt = 0
-	if l.onCompacted != nil {
-		l.onCompacted()
+	durable := l.durable
+	close(l.compactDone)
+	l.mu.Unlock()
+	if committed && durable != nil && durable.Checkpoint != nil {
+		durable.Checkpoint(ckptLSN)
 	}
 }
 
@@ -480,9 +579,9 @@ func (l *Live) Compact() error {
 		l.mu.Unlock()
 		return nil
 	}
-	view, rebuild := l.beginCompactionLocked()
+	view, rebuild, lsn := l.beginCompactionLocked()
 	l.mu.Unlock()
-	l.runCompaction(view, rebuild)
+	l.runCompaction(view, rebuild, lsn)
 	l.mu.Lock()
 	err := l.lastErr
 	l.mu.Unlock()
@@ -516,6 +615,10 @@ func (l *Live) Stats() LiveStats {
 		Compactions: l.compactions,
 		Threshold:   l.threshold,
 		Compacting:  l.compacting,
+
+		CompactionFailures: l.failures,
+		Durable:            l.durable != nil,
+		DurableLSN:         l.lastLSN,
 	}
 	if l.lastErr != nil {
 		st.LastError = l.lastErr.Error()

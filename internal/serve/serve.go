@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algos"
@@ -68,6 +69,10 @@ type Server struct {
 	mu        sync.Mutex
 	prCache   map[prKey][]float64
 	prVersion uint64 // overlay version the cached vectors were computed at
+
+	adm     *admission              // nil = unbounded (no WithAdmission)
+	unready atomic.Pointer[string] // non-nil = explicit not-ready reason
+	panics  atomic.Uint64          // handler panics contained by recovered()
 }
 
 type prKey struct {
@@ -149,6 +154,8 @@ func newSource(v View) (algos.NeighborSource, func()) {
 // Handler returns the HTTP routes:
 //
 //	GET  /healthz                     liveness probe
+//	GET  /readyz                      readiness probe (503 while recovering
+//	                                  or compacting)
 //	GET  /stats                       model sizes (+ overlay counters when mutable)
 //	GET  /neighbors?v=3               sorted neighbors of one vertex
 //	GET  /neighbors?v=3,7,9           batched: one pooled context for all
@@ -159,22 +166,27 @@ func newSource(v View) (algos.NeighborSource, func()) {
 //	     or {"updates":[...]})        read-only servers answer 405)
 //
 // Request bodies are capped at maxRequestBody bytes; oversized payloads
-// are rejected with 413.
+// are rejected with 413. With WithAdmission configured, requests beyond
+// the in-flight and queue bounds are shed with 429 (the probes bypass
+// the limiter). A panicking handler answers 500 and the server keeps
+// serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /neighbors", s.handleNeighbors)
 	mux.HandleFunc("POST /neighbors", s.handleNeighborsPost)
 	mux.HandleFunc("GET /hasedge", s.handleHasEdge)
 	mux.HandleFunc("GET /pagerank", s.handlePageRank)
 	mux.HandleFunc("POST /update", s.handleUpdate)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		}
 		mux.ServeHTTP(w, r)
 	})
+	return s.recovered(s.admitted(inner))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -258,18 +270,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["superedges"] = ls.Superedges
 		stats["mutable"] = true
 		overlay := map[string]any{
-			"insertions":  ls.Insertions,
-			"deletions":   ls.Deletions,
-			"version":     ls.Version,
-			"applied":     ls.Applied,
-			"compactions": ls.Compactions,
-			"threshold":   ls.Threshold,
-			"compacting":  ls.Compacting,
+			"insertions":          ls.Insertions,
+			"deletions":           ls.Deletions,
+			"version":             ls.Version,
+			"applied":             ls.Applied,
+			"compactions":         ls.Compactions,
+			"compaction_failures": ls.CompactionFailures,
+			"threshold":           ls.Threshold,
+			"compacting":          ls.Compacting,
 		}
 		if ls.LastError != "" {
 			overlay["last_compaction_error"] = ls.LastError
 		}
 		stats["overlay"] = overlay
+		if ls.Durable {
+			stats["durability"] = map[string]any{
+				"enabled": true,
+				"lsn":     ls.DurableLSN,
+			}
+		}
 	} else {
 		switch v := s.static.(type) {
 		case *model.DeltaOverlay:
@@ -298,6 +317,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			stats["nodes"] = s.n
 		}
 	}
+	serving := map[string]any{
+		"ready":  s.unreadyReason() == "",
+		"panics": s.panics.Load(),
+	}
+	if s.adm != nil {
+		serving["admitted"] = s.adm.admitted.Load()
+		serving["shed"] = s.adm.shed.Load()
+		serving["max_inflight"] = cap(s.adm.sem)
+	}
+	stats["serving"] = serving
 	writeJSON(w, http.StatusOK, stats)
 }
 
@@ -438,15 +467,28 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty update: send {u, v, delete} or {updates: [...]}")
 		return
 	}
-	applied, err := s.live.ApplyUpdates(ups)
+	applied, version, err := s.live.ApplyUpdatesVersioned(ups)
 	if err != nil {
+		if errors.Is(err, model.ErrDurability) || errors.Is(err, model.ErrNoDurability) {
+			// The batch was rejected before publication: nothing was
+			// applied, nothing acknowledged. The client may retry — the
+			// summary is intact, only its log is refusing writes.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The version of the snapshot holding this batch: queries that carry
+	// a view at least this fresh observe every applied update (a batch
+	// of all no-ops lands in the current snapshot unchanged).
+	w.Header().Set("X-Summary-Version", strconv.FormatUint(version, 10))
 	ls := s.live.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"received": len(ups),
 		"applied":  applied,
+		"version":  version,
 		"overlay": map[string]any{
 			"insertions": ls.Insertions,
 			"deletions":  ls.Deletions,

@@ -59,9 +59,9 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatalf("healthz = %v", health)
 	}
 
-	var stats map[string]int
+	var stats map[string]any
 	get(t, ts, "/stats", http.StatusOK, &stats)
-	if stats["nodes"] != 7 || stats["supernodes"] != 9 || stats["superedges"] != 5 {
+	if stats["nodes"] != 7.0 || stats["supernodes"] != 9.0 || stats["superedges"] != 5.0 {
 		t.Fatalf("stats = %v", stats)
 	}
 

@@ -1,0 +1,211 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// recover scans l.dir, selects the best valid checkpoint, replays the
+// segment chain up to the first corruption (torn-tail tolerance), and
+// primes the log's in-memory state for appends. Called by Open before
+// the active segment exists.
+func (l *Log) recover() (*Recovery, error) {
+	entries, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading %s: %w", l.dir, err)
+	}
+	var segFirsts []uint64
+	var ckptLSNs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".seg"):
+			if v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), 16, 64); err == nil {
+				segFirsts = append(segFirsts, v)
+			}
+		case strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".ck"):
+			if v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ck"), 16, 64); err == nil {
+				ckptLSNs = append(ckptLSNs, v)
+			}
+		case name == "ckpt.tmp":
+			// A checkpoint that never committed; its rename is the commit
+			// point, so it is garbage.
+			l.fs.Remove(join(l.dir, name))
+		}
+	}
+	rec := &Recovery{}
+
+	// Newest valid checkpoint wins; invalid ones (torn before their
+	// commit fsync reached every block) fall back to the next older.
+	sort.Slice(ckptLSNs, func(i, j int) bool { return ckptLSNs[i] > ckptLSNs[j] })
+	for _, lsn := range ckptLSNs {
+		payload, ok := l.readCheckpoint(join(l.dir, ckptName(lsn)), lsn)
+		if ok {
+			rec.HasCheckpoint = true
+			rec.CheckpointLSN = lsn
+			rec.Checkpoint = payload
+			l.hasCkpt, l.ckptLSN = true, lsn
+			break
+		}
+	}
+	// Checkpoints older than the chosen one are superseded; an invalid
+	// newer one is garbage. Either way, remove the rest.
+	for _, lsn := range ckptLSNs {
+		if !rec.HasCheckpoint || lsn != rec.CheckpointLSN {
+			l.fs.Remove(join(l.dir, ckptName(lsn)))
+		}
+	}
+
+	sort.Slice(segFirsts, func(i, j int) bool { return segFirsts[i] < segFirsts[j] })
+	var all []Record
+	type segRead struct {
+		first uint64
+		n     int
+	}
+	var reads []segRead
+	next := uint64(0) // expected LSN of the next record; 0 = not yet anchored
+	truncated := false
+	cut := len(segFirsts)
+	for i, first := range segFirsts {
+		if next != 0 && first != next {
+			// Chain gap or overlap (e.g. retirement raced a crash):
+			// everything from here on is not a continuation of the
+			// recovered prefix.
+			truncated = true
+			cut = i
+			break
+		}
+		recs, clean := l.readSegment(join(l.dir, segName(first)), first)
+		all = append(all, recs...)
+		next = first + uint64(len(recs))
+		reads = append(reads, segRead{first: first, n: len(recs)})
+		if !clean {
+			truncated = true
+			cut = i + 1
+			break
+		}
+	}
+	// Remove segments past the truncation point: their records are
+	// unreachable (the chain is cut) and a name collision with future
+	// appends could resurrect them.
+	for _, first := range segFirsts[cut:] {
+		l.fs.Remove(join(l.dir, segName(first)))
+	}
+
+	// Keep the surviving record-bearing segments in the retirement
+	// list. Zero-record segments (an active segment created just before
+	// a crash, or one whose header was torn) are left out: openActive
+	// reuses their name with O_TRUNC, and listing them here would alias
+	// the new active segment and could get it retired mid-write.
+	for _, sr := range reads {
+		if sr.n > 0 {
+			l.segments = append(l.segments, segMeta{first: sr.first, path: join(l.dir, segName(sr.first))})
+		}
+	}
+
+	// Drop records the checkpoint supersedes; tolerate a checkpoint
+	// ahead of the surviving records (its state covers them).
+	i := sort.Search(len(all), func(i int) bool { return all[i].LSN > l.ckptLSN })
+	rec.Records = all[i:]
+	rec.Truncated = truncated
+
+	last := l.ckptLSN
+	if n := len(all); n > 0 && all[n-1].LSN > last {
+		last = all[n-1].LSN
+	}
+	l.nextLSN = last + 1
+	return rec, nil
+}
+
+// readCheckpoint validates one checkpoint file and returns its payload.
+func (l *Log) readCheckpoint(path string, wantLSN uint64) ([]byte, bool) {
+	data, ok := l.readFile(path)
+	if !ok || len(data) < ckptHdrLen+ckptTrlLen {
+		return nil, false
+	}
+	if string(data[:4]) != ckptMagic || data[4] != formatVer {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint64(data[5:]) != wantLSN {
+		return nil, false
+	}
+	trl := data[len(data)-ckptTrlLen:]
+	if string(trl[12:]) != ckptEnd {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(trl[4:12])
+	payload := data[ckptHdrLen : len(data)-ckptTrlLen]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(trl[0:4]) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// readSegment parses one segment's frames. clean is false when the
+// segment ended at a corrupt or torn frame (the valid prefix is still
+// returned) or had a bad header (no records then).
+func (l *Log) readSegment(path string, wantFirst uint64) (recs []Record, clean bool) {
+	data, ok := l.readFile(path)
+	if !ok || len(data) < segHdrLen {
+		return nil, false
+	}
+	if string(data[:4]) != segMagic || data[4] != formatVer {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint64(data[5:]) != wantFirst {
+		return nil, false
+	}
+	off := segHdrLen
+	lsn := wantFirst
+	for {
+		if off == len(data) {
+			return recs, true // exact end: no torn tail
+		}
+		if len(data)-off < frameHdrLen {
+			break // torn frame header
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxRecordBytes || len(data)-off-frameHdrLen < plen {
+			break // implausible length or torn payload
+		}
+		payload := data[off+frameHdrLen : off+frameHdrLen+plen]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break // bit flip or torn write
+		}
+		recs = append(recs, Record{LSN: lsn, Payload: payload})
+		lsn++
+		off += frameHdrLen + plen
+	}
+	// Truncate the garbage tail so the file's on-disk prefix matches
+	// what recovery accepted (best effort: recovery is already correct
+	// without it, since this segment is never appended to again).
+	if f, err := l.fs.OpenFile(path, os.O_WRONLY, 0); err == nil {
+		f.Truncate(int64(off))
+		f.Close()
+	}
+	return recs, false
+}
+
+// readFile slurps one file through the FS seam.
+func (l *Log) readFile(path string) ([]byte, bool) {
+	f, err := l.fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}

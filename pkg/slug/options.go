@@ -1,5 +1,7 @@
 package slug
 
+import "repro/internal/wal"
+
 // Option tunes one Summarize call. Options not applicable to the
 // chosen algorithm are ignored, so a single option set can drive every
 // registered algorithm (e.g. from the experiment harness).
@@ -15,6 +17,10 @@ type buildConfig struct {
 	progress    func(Event)
 	compaction  int    // updatable-artifact compaction threshold (NewUpdatable)
 	algorithm   string // per-shard algorithm (SummarizeSharded)
+
+	walDir    string // updatable-artifact WAL directory ("" = volatile)
+	walPolicy wal.Policy
+	walFS     wal.FS // fault-injection hook for tests (nil = the real one)
 }
 
 func resolve(opts []Option) buildConfig {
@@ -66,6 +72,26 @@ func WithCompactionThreshold(n int) Option {
 // algorithm.
 func WithAlgorithm(name string) Option {
 	return func(cfg *buildConfig) { cfg.algorithm = name }
+}
+
+// WithDurability gives an updatable artifact (NewUpdatable) a write-
+// ahead log in dir: every acknowledged update batch is persisted before
+// it becomes visible, compactions checkpoint the rebuilt base and
+// retire replayed log segments, and reopening the same directory
+// (NewUpdatable or OpenUpdatable) recovers the exact acknowledged
+// state — see the Durability section of the package docs for the fsync
+// policy tradeoffs. Summarize calls ignore it.
+func WithDurability(dir string, policy SyncPolicy) Option {
+	return func(cfg *buildConfig) {
+		cfg.walDir = dir
+		cfg.walPolicy = policy.p
+	}
+}
+
+// withWALFS substitutes the filesystem under the write-ahead log, so
+// tests can inject faults and crashes. Not part of the public API.
+func withWALFS(fs wal.FS) Option {
+	return func(cfg *buildConfig) { cfg.walFS = fs }
 }
 
 // WithProgress registers a callback receiving build progress Events.

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // Updatable is an Artifact whose represented graph can change after the
@@ -44,6 +45,15 @@ type Updatable interface {
 	// Live exposes the underlying maintenance container (for serving
 	// front-ends that need stats and snapshots).
 	Live() *model.Live
+	// Close releases the resources behind the artifact — for a durable
+	// one (WithDurability) it flushes and closes the write-ahead log, so
+	// updates acknowledged under an interval fsync policy are on disk
+	// before Close returns. The artifact must not be updated afterwards;
+	// views already held stay valid. Idempotent.
+	Close() error
+	// Durability reports the persistence state: whether a write-ahead
+	// log is attached, what it recovered at open, and its counters.
+	Durability() DurabilityStats
 }
 
 // liveArtifact implements Updatable over a model.Live whose rebuild
@@ -55,6 +65,15 @@ type liveArtifact struct {
 	mu      sync.Mutex
 	base    Artifact // artifact of the served compiled base
 	pending Artifact // rebuilt artifact staged until its swap commits
+
+	// Durable state (nil log = volatile artifact).
+	log         *wal.Log
+	closed      bool
+	recRecords  int  // records replayed at open
+	recCkpt     bool // a checkpoint seeded the base at open
+	recTrunc    bool // recovery truncated a torn tail
+	ckptFails   uint64
+	lastCkptErr error
 }
 
 // NewUpdatable makes an artifact's summary live: the result absorbs
@@ -66,6 +85,19 @@ type liveArtifact struct {
 // same artifact. The producing algorithm must be registered (it is
 // what compaction rebuilds with).
 func NewUpdatable(art Artifact, opts ...Option) (Updatable, error) {
+	cfg := resolve(opts)
+	if cfg.walDir != "" {
+		return openDurable(art, cfg, opts)
+	}
+	if art == nil {
+		return nil, fmt.Errorf("slug: NewUpdatable needs an artifact (only WithDurability can recover one from disk)")
+	}
+	return newLiveArtifact(art, cfg, opts)
+}
+
+// newLiveArtifact builds the volatile core shared by the durable and
+// non-durable paths: registry-checked rebuild wiring over a model.Live.
+func newLiveArtifact(art Artifact, cfg buildConfig, opts []Option) (*liveArtifact, error) {
 	if _, ok := Lookup(art.Algorithm()); !ok {
 		return nil, fmt.Errorf("slug: cannot make %q artifact updatable: algorithm not registered (compaction needs it)", art.Algorithm())
 	}
@@ -75,7 +107,6 @@ func NewUpdatable(art Artifact, opts ...Option) (Updatable, error) {
 	}
 	la := &liveArtifact{algo: art.Algorithm(), base: art}
 	l := model.NewLive(cs)
-	cfg := resolve(opts)
 	l.SetCompactionThreshold(cfg.compaction)
 	// The rebuilt artifact is only staged here: it becomes la.base in
 	// the OnCompacted hook, atomically with the Live base swap, so a
@@ -159,3 +190,47 @@ func (la *liveArtifact) View() *model.DeltaOverlay { return la.live.View() }
 func (la *liveArtifact) Compact() error { return la.live.Compact() }
 
 func (la *liveArtifact) Live() *model.Live { return la.live }
+
+// Close flushes and closes the write-ahead log (no-op for a volatile
+// artifact). In-flight background compactions are waited out first so
+// their checkpoint lands in the log rather than racing its shutdown.
+func (la *liveArtifact) Close() error {
+	la.mu.Lock()
+	log, closed := la.log, la.closed
+	la.closed = true
+	la.mu.Unlock()
+	if log == nil || closed {
+		return nil
+	}
+	la.live.Quiesce()
+	return log.Close()
+}
+
+// Durability reports the artifact's persistence state.
+func (la *liveArtifact) Durability() DurabilityStats {
+	la.mu.Lock()
+	defer la.mu.Unlock()
+	if la.log == nil {
+		return DurabilityStats{}
+	}
+	ws := la.log.Stats()
+	ds := DurabilityStats{
+		Enabled:             true,
+		Dir:                 ws.Dir,
+		Policy:              ws.Policy,
+		LastLSN:             ws.NextLSN - 1,
+		CheckpointLSN:       ws.CheckpointLSN,
+		Segments:            ws.Segments,
+		Appends:             ws.Appends,
+		Syncs:               ws.Syncs,
+		Checkpoints:         ws.Checkpoints,
+		RecoveredRecords:    la.recRecords,
+		RecoveredCheckpoint: la.recCkpt,
+		RecoveryTruncated:   la.recTrunc,
+		CheckpointFailures:  la.ckptFails,
+	}
+	if la.lastCkptErr != nil {
+		ds.LastCheckpointError = la.lastCkptErr.Error()
+	}
+	return ds
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_5.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_6.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -15,16 +15,20 @@
 #                    side always runs 5x)
 #   BENCHTIME_SHARD go-test benchtime for the sharded-vs-single build pair
 #                   (default 3x)
+#   BENCHTIME_WAL   go-test benchtime for the WAL append-policy benchmarks
+#                   (default 2000x; per-record fsync dominates the always
+#                   side, so this bounds total fsync count)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_5.json}
+OUT=${1:-BENCH_6.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
 API=${BENCHTIME_API:-5x}
 UPDATE=${BENCHTIME_UPDATE:-200x}
 SHARD=${BENCHTIME_SHARD:-3x}
+WAL=${BENCHTIME_WAL:-2000x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -60,6 +64,12 @@ go test -run '^$' -bench 'BenchmarkShardedBuildSingle$|BenchmarkShardedBuildK4$'
 go test -run '^$' -bench 'BenchmarkShardedNeighborsOf$' -benchmem \
   -benchtime "$QUERY" -timeout 20m . | tee -a "$TMP/shard.txt"
 
+echo "== durable update log: append cost per fsync policy (benchtime=$WAL) =="
+go test -run '^$' -bench 'BenchmarkWALAppendAlways$|BenchmarkWALAppendInterval$|BenchmarkWALAppendNever$' -benchmem \
+  -benchtime "$WAL" -timeout 20m ./internal/wal | tee "$TMP/wal.txt"
+go test -run '^$' -bench 'BenchmarkWALRecovery$' -benchmem \
+  -benchtime 3x -timeout 20m ./internal/wal | tee -a "$TMP/wal.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -68,7 +78,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -116,7 +126,12 @@ doc = {
              "communities, but only the multi-core reading is normative). "
              "BenchmarkShardedNeighborsOf measures the federated query "
              "router against BenchmarkNeighborQueryCompiled's single-"
-             "engine baseline."),
+             "engine baseline. BenchmarkWALAppendAlways/Interval/Never "
+             "quantify the durability tax per fsync policy (one op = one "
+             "~80-byte update-batch record; always pays a per-record "
+             "fsync, interval and never are buffered appends); "
+             "BenchmarkWALRecovery is checkpoint-plus-10k-record replay "
+             "(PR-6)."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
