@@ -7,6 +7,7 @@
 // Usage:
 //
 //	serve -summary out.slga [-addr :8080] [-mutable [-compact 10000]]
+//	serve -summary out.slgc -mmap [-mutable]   (zero-copy boot from a v2 artifact)
 //	serve -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-workers 4] [-addr :8080]
 //	serve -in graph.txt -shards 4 [-workers 8] [-addr :8080]
 //	serve -summary out.slga -mutable -wal-dir /var/lib/slug [-fsync always]
@@ -18,6 +19,16 @@
 // with the boundary edges. The endpoints are unchanged; /stats gains
 // per-shard sizes. Sharded serving is immutable (-mutable is
 // rejected). -summary detects sharded artifact files automatically.
+//
+// -summary also auto-detects v2 zero-copy artifacts (from slugger
+// -format v2): without -mmap the file is read, checksummed and served
+// from an in-memory buffer in the same layout ("v2-heap"); with -mmap
+// it is memory-mapped and served straight off the mapping — no decode,
+// no recompile, boot cost independent of summary size ("v2-mapped").
+// -mmap composes with -mutable: the overlay absorbs updates on top of
+// the mapped base exactly as on a compiled one. /stats reports the
+// serving format, the mapped byte count, and the measured
+// boot-to-first-query latency under "artifact".
 //
 // Builds route through the unified pkg/slug API, so every algorithm's
 // output can be served and all build knobs (-t, -hb, -seed, -workers)
@@ -70,9 +81,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("serve: ")
+	bootStart := time.Now()
 
 	var (
 		summary = flag.String("summary", "", "saved artifact file to serve (from slugger -save)")
+		mmap    = flag.Bool("mmap", false, "memory-map a v2 compiled artifact (-summary, written by slugger -format v2) and serve straight off the mapping: no decode, no recompile at boot")
 		in      = flag.String("in", "", "edge-list file to summarize and serve")
 		algo    = flag.String("algo", "slugger", "summarization algorithm when summarizing -in: "+strings.Join(slug.Algorithms(), ", "))
 		t       = flag.Int("t", 20, "merging iterations T when summarizing -in, and for -mutable compaction rebuilds (slugger, sweg)")
@@ -100,6 +113,12 @@ func main() {
 	if *walDir != "" && *shards > 1 {
 		log.Fatal("-wal-dir and -shards are incompatible (sharded serving is immutable)")
 	}
+	if *mmap && *summary == "" {
+		log.Fatal("-mmap boots from a saved v2 artifact: it requires -summary")
+	}
+	if *mmap && *shards > 1 {
+		log.Fatal("-mmap serves one mapped summary: incompatible with -shards")
+	}
 
 	// Ctrl-C / SIGTERM cancels a running build and gracefully drains the
 	// server once it is listening. After the first signal the handler is
@@ -125,6 +144,15 @@ func main() {
 		sh  *slug.Sharded
 	)
 	switch {
+	case *summary != "" && *mmap:
+		m, err := slug.OpenMapped(*summary)
+		if err != nil {
+			log.Fatalf("mapping artifact: %v", err)
+		}
+		defer m.Close()
+		fmt.Printf("mapped %s: %d bytes, algorithm %s (%s)\n",
+			*summary, m.MappedBytes(), m.Algorithm(), m.Format())
+		art = m
 	case *summary != "":
 		a, err := slug.Load(*summary)
 		if errors.Is(err, slug.ErrShardedArtifact) {
@@ -199,7 +227,8 @@ func main() {
 				s, cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges())
 		}
 		fmt.Printf("listening on %s (algorithm %s, federated)\n", *addr, sh.Algorithm())
-		if err := serve.NewSharded(sc).WithAlgorithm(sh.Algorithm()).Run(ctx, *addr); err != nil {
+		srv := serve.NewSharded(sc).WithAlgorithm(sh.Algorithm()).WithArtifact("v1-sharded", 0, bootStart)
+		if err := srv.Run(ctx, *addr); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("shut down cleanly")
@@ -259,6 +288,15 @@ func main() {
 		srv.WithAdmission(*maxInflight, *maxInflight, time.Second)
 		fmt.Printf("admission: max %d in-flight requests, overflow answers 429\n", *maxInflight)
 	}
+	// Artifact provenance for /stats: how the served model is backed and
+	// how long boot-to-first-query takes on that path.
+	format, mappedBytes := "v1-compiled", int64(0)
+	if m, ok := art.(*slug.Mapped); ok {
+		format, mappedBytes = m.Format(), m.MappedBytes()
+	} else if art == nil {
+		format = "wal-recovered"
+	}
+	srv.WithArtifact(format, mappedBytes, bootStart)
 	fmt.Printf("listening on %s (algorithm %s)\n", *addr, algoName)
 	if err := srv.WithAlgorithm(algoName).Run(ctx, *addr); err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	slugger -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-seed 0] [-validate] [-v]
+//	slugger -in graph.txt -save out.slgc -format v2   (zero-copy serving artifact)
 //	slugger -in graph.txt -shards 4 [-workers 8] [-save out.slgs]
 //
 // The input format is one "u v" pair per line ('#'/'%' comments
@@ -21,6 +22,12 @@
 // -validate, -save, -decode and -serve all work on the sharded path,
 // with serving federated across shards. -load detects sharded files
 // automatically.
+//
+// -format selects the -save encoding: v1 (default) writes the portable
+// SLGA envelope, v2 writes the zero-copy compiled SLGC layout that
+// serve -mmap boots from without decoding or recompiling. -load
+// detects both automatically (v2 files load checksummed into memory;
+// use serve -mmap to map them).
 package main
 
 import (
@@ -57,8 +64,22 @@ func main() {
 		decodeTo = flag.String("decode", "", "decode the artifact back to an edge-list file")
 		serveOn  = flag.String("serve", "", "after summarizing or loading, serve queries over HTTP on this address (e.g. :8080)")
 		shards   = flag.Int("shards", 1, "partition the graph into this many shards and summarize them concurrently (1 = unsharded)")
+		format   = flag.String("format", "v1", "artifact encoding for -save: v1 (portable SLGA envelope) or v2 (zero-copy compiled SLGC layout, bootable with serve -mmap)")
 	)
 	flag.Parse()
+	if *format != "v1" && *format != "v2" {
+		log.Fatalf("-format %q: must be v1 or v2", *format)
+	}
+	if *format == "v2" && *shards > 1 {
+		log.Fatal("-format v2 writes one compiled summary: incompatible with -shards (save sharded artifacts as v1)")
+	}
+	// saveArtifact persists art to path in the selected encoding.
+	saveArtifact := func(path string, art slug.Artifact) error {
+		if *format == "v2" {
+			return slug.SaveCompiled(path, art)
+		}
+		return slug.Save(path, art)
+	}
 	if *load != "" {
 		art, err := slug.Load(*load)
 		if errors.Is(err, slug.ErrShardedArtifact) {
@@ -151,10 +172,10 @@ func main() {
 		fmt.Println("validation: OK (lossless)")
 	}
 	if *save != "" {
-		if err := slug.Save(*save, art); err != nil {
+		if err := saveArtifact(*save, art); err != nil {
 			log.Fatalf("saving artifact: %v", err)
 		}
-		fmt.Printf("artifact written to %s\n", *save)
+		fmt.Printf("artifact written to %s (%s)\n", *save, *format)
 	}
 	finish(art, *decodeTo, *serveOn)
 }
@@ -178,6 +199,10 @@ func describe(art slug.Artifact, edges int64, elapsed time.Duration) {
 		s := a.Summary
 		fmt.Printf("flat model: %d supernodes, |P|=%d |C+|=%d |C-|=%d\n",
 			s.NumSupernodes(), len(s.P), len(s.CPlus), len(s.CMinus))
+	case *slug.Mapped:
+		cs, _ := a.Queryable()
+		fmt.Printf("compiled model (%s): %d vertices, %d supernodes, %d superedges, %d bytes\n",
+			a.Format(), cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(), a.MappedBytes())
 	}
 	if elapsed > 0 {
 		fmt.Printf("time: %s\n", elapsed.Round(time.Millisecond))

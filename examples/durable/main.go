@@ -124,4 +124,31 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("post-recovery update acked at LSN %d\n", recovered.Durability().LastLSN)
+
+	// Compaction folds the overlay into a fresh base and checkpoints it —
+	// since PR 7 in the v2 zero-copy layout, so the *next* recovery seeds
+	// its base straight from the checkpoint bytes without recompiling.
+	if err := recovered.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n-- compacted: checkpoint written in the v2 zero-copy layout --")
+
+	// The same layout works as a standalone boot file: persist the
+	// compiled form, then memory-map it and answer queries immediately —
+	// no decode, no recompile, boot cost independent of summary size.
+	v2 := dir + "/snapshot.slgc"
+	if err := slug.SaveCompiled(v2, recovered); err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := slug.OpenMapped(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mapped.Close()
+	cs, err := mapped.Queryable() // free: the arrays are the file's bytes
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mmap boot (%s, %d bytes): person 0's friends = %v\n",
+		mapped.Format(), mapped.MappedBytes(), cs.NeighborsOf(0))
 }

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestStatsArtifactSection pins the /stats artifact block: format and
+// mapped byte count appear as configured, and the boot-to-first-query
+// duration is absent until a query lands, then positive and latched.
+func TestStatsArtifactSection(t *testing.T) {
+	srv := testServer().WithArtifact("v2-mapped", 4096, time.Now().Add(-10*time.Millisecond))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var stats struct {
+		Artifact map[string]any `json:"artifact"`
+	}
+	get(t, ts, "/stats", 200, &stats)
+	if stats.Artifact == nil {
+		t.Fatal("/stats has no artifact section")
+	}
+	if got := stats.Artifact["format"]; got != "v2-mapped" {
+		t.Fatalf("artifact.format = %v, want v2-mapped", got)
+	}
+	if got := stats.Artifact["mapped_bytes"]; got != float64(4096) {
+		t.Fatalf("artifact.mapped_bytes = %v, want 4096", got)
+	}
+	if _, present := stats.Artifact["boot_to_first_query_ms"]; present {
+		t.Fatal("boot_to_first_query_ms reported before any query")
+	}
+
+	get(t, ts, "/neighbors?v=0", 200, nil)
+	get(t, ts, "/stats", 200, &stats)
+	first, ok := stats.Artifact["boot_to_first_query_ms"].(float64)
+	if !ok || first <= 0 {
+		t.Fatalf("boot_to_first_query_ms = %v, want positive number", stats.Artifact["boot_to_first_query_ms"])
+	}
+
+	// Latched: later queries do not move it.
+	get(t, ts, "/hasedge?u=0&v=1", 200, nil)
+	get(t, ts, "/stats", 200, &stats)
+	if again := stats.Artifact["boot_to_first_query_ms"].(float64); again != first {
+		t.Fatalf("boot_to_first_query_ms moved from %v to %v", first, again)
+	}
+}
+
+// TestStatsNoArtifactSection: servers that never call WithArtifact keep
+// the previous /stats shape.
+func TestStatsNoArtifactSection(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+	var stats map[string]any
+	get(t, ts, "/stats", 200, &stats)
+	if _, present := stats["artifact"]; present {
+		t.Fatal("artifact section reported without WithArtifact")
+	}
+}

@@ -70,9 +70,20 @@ type Server struct {
 	prCache   map[prKey][]float64
 	prVersion uint64 // overlay version the cached vectors were computed at
 
-	adm     *admission              // nil = unbounded (no WithAdmission)
+	adm     *admission             // nil = unbounded (no WithAdmission)
 	unready atomic.Pointer[string] // non-nil = explicit not-ready reason
 	panics  atomic.Uint64          // handler panics contained by recovered()
+
+	// Artifact provenance, reported by /stats when set via WithArtifact:
+	// the serving format ("v1-compiled" | "v2-mapped" | "v2-heap"), the
+	// mapped/resident byte count, and how long after process boot the
+	// first query was answered (the startup-latency figure the zero-copy
+	// format exists to shrink).
+	artFormat      string
+	artMappedBytes int64
+	bootStart      time.Time
+	firstQueryOnce sync.Once
+	firstQueryNs   atomic.Int64 // 0 until the first query completes
 }
 
 type prKey struct {
@@ -118,6 +129,35 @@ func NewLive(l *model.Live) *Server {
 func (s *Server) WithAlgorithm(name string) *Server {
 	s.algo = name
 	return s
+}
+
+// WithArtifact records how the served model is backed — its format
+// ("v1-compiled" for a decoded-and-compiled envelope, "v2-mapped" for a
+// zero-copy memory mapping, "v2-heap" for the v2 layout resident in
+// memory), the backing byte count (0 when unknown), and the process
+// boot instant. /stats then reports the trio plus the measured
+// boot-to-first-query duration once the first query lands. Returns the
+// server for chaining.
+func (s *Server) WithArtifact(format string, mappedBytes int64, bootStart time.Time) *Server {
+	s.artFormat = format
+	s.artMappedBytes = mappedBytes
+	s.bootStart = bootStart
+	return s
+}
+
+// markFirstQuery latches the boot-to-first-query duration on the first
+// query-path request (neighbors, hasedge, pagerank).
+func (s *Server) markFirstQuery() {
+	if s.bootStart.IsZero() {
+		return
+	}
+	s.firstQueryOnce.Do(func() {
+		d := time.Since(s.bootStart)
+		if d <= 0 {
+			d = 1 // clamp: the latch doubles as the "happened" flag
+		}
+		s.firstQueryNs.Store(int64(d))
+	})
 }
 
 // view returns the snapshot to answer the current request from.
@@ -317,6 +357,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			stats["nodes"] = s.n
 		}
 	}
+	if s.artFormat != "" {
+		artifact := map[string]any{"format": s.artFormat}
+		if s.artMappedBytes > 0 {
+			artifact["mapped_bytes"] = s.artMappedBytes
+		}
+		if ns := s.firstQueryNs.Load(); ns > 0 {
+			artifact["boot_to_first_query_ms"] = float64(ns) / 1e6
+		}
+		stats["artifact"] = artifact
+	}
 	serving := map[string]any{
 		"ready":  s.unreadyReason() == "",
 		"panics": s.panics.Load(),
@@ -348,9 +398,11 @@ func (s *Server) answerNeighbors(w http.ResponseWriter, vs []int32, single bool)
 	})
 	if single && len(results) == 1 {
 		writeJSON(w, http.StatusOK, results[0])
+		s.markFirstQuery()
 		return
 	}
 	writeJSON(w, http.StatusOK, results)
+	s.markFirstQuery()
 }
 
 func (s *Server) handleNeighbors(w http.ResponseWriter, r *http.Request) {
@@ -414,6 +466,7 @@ func (s *Server) handleHasEdge(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": s.view().HasEdge(u, v)})
+	s.markFirstQuery()
 }
 
 // UpdateItem is one edge mutation of the /update request body.
@@ -601,6 +654,7 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"damping": d, "iterations": t, "top": ranked[:top],
 	})
+	s.markFirstQuery()
 }
 
 // Run serves the handler on addr until the listener fails or ctx is

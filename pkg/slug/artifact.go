@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/flat"
@@ -140,13 +141,18 @@ func writeEnvelope(w io.Writer, kind byte, algo string, payload func(io.Writer) 
 // ReadFrom deserializes an artifact written by any Artifact's WriteTo.
 // The envelope header restores the producing algorithm and model kind;
 // raw hierarchical model streams (legacy "SLGR" files) are accepted and
-// tagged as slugger output. Corrupt input yields an error, never a
-// silently wrong artifact.
+// tagged as slugger output, and v2 zero-copy compiled streams ("SLGC",
+// from SaveCompiled) load heap-backed with the full checksum verified —
+// ready to serve with no recompilation. Corrupt input yields an error,
+// never a silently wrong artifact.
 func ReadFrom(r io.Reader) (Artifact, error) {
 	br := bufio.NewReader(r)
 	peek, err := br.Peek(len(envelopeMagic))
 	if err != nil {
 		return nil, fmt.Errorf("slug: reading artifact magic: %w", err)
+	}
+	if string(peek) == compiledMagic {
+		return readMappedFrom(br)
 	}
 	if string(peek) == legacyModelMagic {
 		s, err := model.ReadFrom(br)
@@ -204,20 +210,62 @@ func ReadFrom(r io.Reader) (Artifact, error) {
 
 // Save writes an artifact (sharded or not: anything serializing
 // through WriteTo, such as an Artifact or a *Sharded) to a file.
+// The write is crash-safe: the bytes land in a temporary file in the
+// same directory, are fsynced, and are renamed over the target — the
+// same discipline as WAL checkpoints — so a crash mid-save never
+// leaves a torn artifact at path (the old file, if any, survives
+// intact until the rename commits).
 func Save(path string, a io.WriterTo) error {
-	f, err := os.Create(path)
+	return atomicWrite(path, a.WriteTo)
+}
+
+// atomicWrite commits write's output to path via tmp + fsync + rename +
+// directory fsync. On any failure the temporary file is removed and the
+// previous contents of path are untouched.
+func atomicWrite(path string, write func(io.Writer) (int64, error)) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if _, err := a.WriteTo(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if _, err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable: fsync the directory entry. Failure
+	// here is reported (the data is safe, but the commit may not survive
+	// power loss until the OS flushes the directory).
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // Load reads an artifact from a file written by Save (or by the legacy
-// slugger -save model format).
+// slugger -save model format, or a v2 compiled file from SaveCompiled —
+// the magic dispatches).
 func Load(path string) (Artifact, error) {
 	f, err := os.Open(path)
 	if err != nil {

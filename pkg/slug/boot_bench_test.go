@@ -1,0 +1,124 @@
+package slug_test
+
+// Startup-latency benchmark pair for the serving path, the figure the
+// v2 zero-copy format exists to shrink: boot a saved summary until the
+// first query is answered, via (a) the v1 path — read, decode, compile
+// — and (b) the v2 path — mmap, validate, query. Both end with the same
+// NeighborsOf call, so ns/op is exactly time-to-first-answer.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/pkg/slug"
+)
+
+// bootSizes are the Barabasi-Albert node counts the pair sweeps; the
+// gap between the two paths should widen with size (decode+compile is
+// O(artifact), mmap boot is O(validation sweep) with no allocation).
+var bootSizes = []int{2000, 10000, 50000}
+
+type bootFixture struct {
+	v1, v2 string // saved artifact paths
+}
+
+var (
+	bootOnce sync.Once
+	bootFix  map[int]bootFixture
+	bootDir  string
+)
+
+// bootFixtures builds and saves each size's artifact once per process,
+// in both formats. The builds dominate wall-clock, so they are shared
+// across all benchmark runs and sub-benchmarks.
+func bootFixtures(b *testing.B) map[int]bootFixture {
+	b.Helper()
+	bootOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "slug-boot-bench-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bootDir = dir
+		bootFix = make(map[int]bootFixture)
+		for _, n := range bootSizes {
+			g := graph.BarabasiAlbert(n, 4, 7)
+			art, err := slug.Get("slugger").Summarize(context.Background(), g,
+				slug.WithIterations(10), slug.WithSeed(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			fx := bootFixture{
+				v1: filepath.Join(dir, fmt.Sprintf("n%d.slga", n)),
+				v2: filepath.Join(dir, fmt.Sprintf("n%d.slgc", n)),
+			}
+			if err := slug.Save(fx.v1, art); err != nil {
+				b.Fatal(err)
+			}
+			if err := slug.SaveCompiled(fx.v2, art); err != nil {
+				b.Fatal(err)
+			}
+			bootFix[n] = fx
+		}
+	})
+	if bootFix == nil {
+		b.Skip("fixture build failed in an earlier run")
+	}
+	return bootFix
+}
+
+// BenchmarkBootDecodeCompile is the v1 startup path: read the envelope,
+// decode the model, compile the query engine, answer one query.
+func BenchmarkBootDecodeCompile(b *testing.B) {
+	fix := bootFixtures(b)
+	for _, n := range bootSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			path := fix[n].v1
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				art, err := slug.Load(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs, err := art.Queryable()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cs.NeighborsOf(0)) == 0 {
+					b.Fatal("vertex 0 has no neighbors")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBootMmapFirstQuery is the v2 startup path: map the file,
+// validate the structure, answer one query — no decode, no recompile,
+// no allocation proportional to the artifact.
+func BenchmarkBootMmapFirstQuery(b *testing.B) {
+	fix := bootFixtures(b)
+	for _, n := range bootSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			path := fix[n].v2
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := slug.OpenMapped(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs, err := m.Queryable()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cs.NeighborsOf(0)) == 0 {
+					b.Fatal("vertex 0 has no neighbors")
+				}
+				m.Close()
+			}
+		})
+	}
+}

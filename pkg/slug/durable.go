@@ -189,9 +189,15 @@ func (la *liveArtifact) checkpoint(lsn uint64) {
 	la.mu.Unlock()
 }
 
+// checkpointArtifact persists base as the log's checkpoint in the v2
+// zero-copy compiled layout: recovery then rebuilds the serving engine
+// straight from the checkpoint bytes — no decode, no recompile — so
+// crash-recovery time stops growing with summary size. v1-envelope
+// checkpoints from earlier versions still recover (ReadFrom dispatches
+// on the magic).
 func checkpointArtifact(log *wal.Log, base Artifact, lsn uint64) error {
 	return log.Checkpoint(lsn, func(w io.Writer) error {
-		_, err := base.WriteTo(w)
+		_, err := WriteCompiledTo(w, base)
 		return err
 	})
 }

@@ -1,0 +1,30 @@
+//go:build !unix
+
+package slug
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/model"
+)
+
+// Platforms without a usable mmap read the file into an aligned heap
+// buffer in the same layout: every code path behaves identically, only
+// the Format label ("v2-heap") and the residency differ.
+const mmapBacked = false
+
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("file is empty")
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file size %d exceeds the address space", size)
+	}
+	buf := model.AlignedBuffer(int(size))
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, nil, err
+	}
+	return buf, func() error { return nil }, nil
+}

@@ -1,0 +1,30 @@
+//go:build unix
+
+package slug
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapBacked reports whether mapFile returns a true memory mapping on
+// this platform (it affects only the Format label, never semantics).
+const mmapBacked = true
+
+// mapFile maps size bytes of f read-only. The returned release func
+// unmaps; the mapping outlives f (the kernel keeps the pages backed by
+// the file once mapped).
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("file is empty")
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file size %d exceeds the address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

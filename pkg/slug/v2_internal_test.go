@@ -1,0 +1,67 @@
+package slug
+
+// White-box check of the v2 checkpoint fast path: recovery must seed
+// the live base straight from the checkpoint's compiled bytes — a
+// *Mapped, not a re-decoded and recompiled envelope — while serving the
+// exact acknowledged state.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDurableCheckpointRecoversMapped(t *testing.T) {
+	art := buildDurableTestArtifact(t)
+	batches := durableTestBatches(durableTestGraph())
+	dir := t.TempDir()
+
+	up, err := NewUpdatable(art, append(durableTestOpts(), WithDurability(dir, SyncAlways()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := up.ApplyUpdates(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact: the rebuilt base is checkpointed in the v2 layout.
+	if err := up.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if _, err := up.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenUpdatable(dir, SyncAlways(), durableTestOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+
+	// The recovered base must be the checkpoint's mapped form: queryable
+	// without recompiling.
+	la, ok := re.(*liveArtifact)
+	if !ok {
+		t.Fatalf("OpenUpdatable returned %T", re)
+	}
+	m, ok := la.base.(*Mapped)
+	if !ok {
+		t.Fatalf("recovered base is %T, want *Mapped (v2 checkpoint fast path)", la.base)
+	}
+	if m.Format() != "v2-heap" {
+		t.Fatalf("recovered base format %q, want v2-heap", m.Format())
+	}
+
+	// And it serves the exact acknowledged state.
+	var got bytes.Buffer
+	if _, err := re.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("recovered artifact diverges from pre-shutdown state: %d vs %d bytes", want.Len(), got.Len())
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_6.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_7.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -18,10 +18,12 @@
 #   BENCHTIME_WAL   go-test benchtime for the WAL append-policy benchmarks
 #                   (default 2000x; per-record fsync dominates the always
 #                   side, so this bounds total fsync count)
+#   BENCHTIME_BOOT  go-test benchtime for the startup-latency pair
+#                   (default 10x; each op is a full boot-to-first-query)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_6.json}
+OUT=${1:-BENCH_7.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
@@ -29,6 +31,7 @@ API=${BENCHTIME_API:-5x}
 UPDATE=${BENCHTIME_UPDATE:-200x}
 SHARD=${BENCHTIME_SHARD:-3x}
 WAL=${BENCHTIME_WAL:-2000x}
+BOOT=${BENCHTIME_BOOT:-10x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -70,6 +73,10 @@ go test -run '^$' -bench 'BenchmarkWALAppendAlways$|BenchmarkWALAppendInterval$|
 go test -run '^$' -bench 'BenchmarkWALRecovery$' -benchmem \
   -benchtime 3x -timeout 20m ./internal/wal | tee -a "$TMP/wal.txt"
 
+echo "== startup latency: v1 decode+compile vs v2 mmap-first-query (benchtime=$BOOT) =="
+go test -run '^$' -bench 'BenchmarkBootDecodeCompile$|BenchmarkBootMmapFirstQuery$' -benchmem \
+  -benchtime "$BOOT" -timeout 30m ./pkg/slug | tee "$TMP/boot.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -78,7 +85,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt", "boot.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -131,7 +138,14 @@ doc = {
              "~80-byte update-batch record; always pays a per-record "
              "fsync, interval and never are buffered appends); "
              "BenchmarkWALRecovery is checkpoint-plus-10k-record replay "
-             "(PR-6)."),
+             "(PR-6). BenchmarkBootDecodeCompile vs "
+             "BenchmarkBootMmapFirstQuery is the startup-latency pair "
+             "(PR-7): each op boots a saved summary to its first answered "
+             "neighbor query, via the v1 read+decode+compile path and the "
+             "v2 zero-copy mmap path respectively, over Barabasi-Albert "
+             "graphs of 2k/10k/50k nodes; the v2 side must answer without "
+             "decoding or recompiling, visible as a flat, near-zero "
+             "allocs/op."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
