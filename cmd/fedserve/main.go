@@ -1,0 +1,145 @@
+// Command fedserve is the federation coordinator: it loads a sharded
+// summary envelope (the id maps and boundary sidecar — the routing
+// state), connects to a set of shard servers over HTTP (cmd/serve
+// -shard-role processes, one per shard), and serves the familiar query
+// surface by scatter-gathering across them. Queries arrive and leave
+// in global vertex ids; the coordinator routes each to the owning
+// shard, fetches shard-local answers over a compact binary batch
+// protocol, and merges the boundary edges locally — so the answers are
+// bit-identical to serving the same sharded artifact in one process.
+//
+// Usage:
+//
+//	fedserve -summary out.slgs -peers peers.json [-addr :8080]
+//
+// peers.json maps each shard index to one or more replica base URLs:
+//
+//	{"epoch": "<hex, optional pin>",
+//	 "shards": [["http://10.0.0.1:8081"], ["http://10.0.0.2:8081"]]}
+//
+// SIGHUP reloads the peers file without dropping the routing state or
+// the circuit-breaker history of endpoints that stayed; the shard
+// count must not change (that would be a different build — restart
+// with its envelope instead).
+//
+// At boot the coordinator asks every shard server for /shardinfo and
+// refuses to start unless shard index, shard count, and federation
+// epoch all match the loaded envelope: pieces of different sharded
+// builds never federate silently. The same check runs continuously in
+// the active health loop, which also feeds the per-endpoint circuit
+// breakers. Per-shard failures surface as 503 with the shard identity
+// in the body; /readyz turns 503 while any shard is unreachable.
+//
+// Resilience knobs (-timeout, -retries, -hedge, ...) configure the
+// scatter-gather client: per-attempt timeouts, exponential backoff
+// with jitter, optional hedged requests, and consecutive-failure
+// circuit breaking per endpoint.
+//
+// SIGINT/SIGTERM drain in-flight requests through a graceful shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fed"
+	"repro/pkg/slug"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fedserve: ")
+
+	var (
+		summary = flag.String("summary", "", "sharded summary envelope (.slgs) holding the id maps and boundary sidecar")
+		peers   = flag.String("peers", "", "JSON peers file mapping shard index to replica base URLs (SIGHUP reloads it)")
+		addr    = flag.String("addr", ":8080", "listen address")
+
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-attempt timeout for shard requests")
+		retries  = flag.Int("retries", 2, "re-attempts after the first failed shard request (0 = fail fast)")
+		hedge    = flag.Duration("hedge", 0, "launch a hedged request to a second replica when the first has not answered within this delay (0 = off; needs >1 replica per shard to matter)")
+		brkFails = flag.Int("breaker-failures", 3, "consecutive failures that open an endpoint's circuit breaker")
+		brkCool  = flag.Duration("breaker-cooldown", time.Second, "how long an open circuit waits before admitting a half-open probe")
+		health   = flag.Duration("health-interval", time.Second, "active health-probe interval per endpoint; probes also re-verify the federation epoch (0 = disabled)")
+		skipBoot = flag.Bool("skip-verify", false, "skip the boot-time /shardinfo verification (shards verified lazily by the health loop instead; first queries may 503 until it passes)")
+	)
+	flag.Parse()
+	if *summary == "" || *peers == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sh, err := slug.LoadSharded(*summary)
+	if err != nil {
+		log.Fatalf("loading sharded envelope: %v", err)
+	}
+	epoch := sh.Epoch()
+	nodes := 0
+	for _, ids := range sh.GlobalID {
+		nodes += len(ids)
+	}
+	fmt.Printf("envelope: %d vertices, %d shards, %d boundary edges, algorithm %s, epoch %.12s...\n",
+		nodes, sh.NumShards(), len(sh.Boundary), sh.Algorithm(), epoch)
+
+	p, err := fed.LoadPeers(*peers)
+	if err != nil {
+		log.Fatalf("loading peers: %v", err)
+	}
+	client, err := fed.NewClient(p, fed.Config{
+		Timeout:         *timeout,
+		Retries:         *retries,
+		RetriesSet:      true,
+		HedgeDelay:      *hedge,
+		BreakerFailures: *brkFails,
+		BreakerCooldown: *brkCool,
+		HealthInterval:  *health,
+		ExpectEpoch:     epoch,
+	})
+	if err != nil {
+		log.Fatalf("building client: %v", err)
+	}
+
+	co, err := fed.NewCoordinator(sh, client)
+	if err != nil {
+		log.Fatalf("building coordinator: %v", err)
+	}
+
+	// Ctrl-C / SIGTERM cancels verification and gracefully drains the
+	// server once it is listening; a second signal force-kills a stuck
+	// drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	if !*skipBoot {
+		vctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		err := co.Verify(vctx)
+		cancel()
+		if err != nil {
+			log.Fatalf("verifying shard servers: %v", err)
+		}
+		fmt.Printf("verified %d shard servers against epoch %.12s...\n", client.NumShards(), epoch)
+	}
+
+	stopHealth := client.StartHealth(ctx)
+	defer stopHealth()
+	client.WatchReload(ctx, *peers, func(err error) {
+		log.Printf("peers reload: %v", err)
+	})
+
+	fmt.Printf("listening on %s (coordinating %d shards, algorithm %s)\n",
+		*addr, client.NumShards(), sh.Algorithm())
+	if err := co.Run(ctx, *addr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shut down cleanly")
+}

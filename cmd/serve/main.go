@@ -12,6 +12,7 @@
 //	serve -in graph.txt -shards 4 [-workers 8] [-addr :8080]
 //	serve -summary out.slga -mutable -wal-dir /var/lib/slug [-fsync always]
 //	serve -mutable -wal-dir /var/lib/slug   (restart: recover from the log alone)
+//	serve -shard-role 2 -manifest shards/manifest.json [-addr :8082]
 //
 // With -shards k > 1 the graph is partitioned into k shards summarized
 // concurrently under the -workers budget, and queries are served
@@ -19,6 +20,17 @@
 // with the boundary edges. The endpoints are unchanged; /stats gains
 // per-shard sizes. Sharded serving is immutable (-mutable is
 // rejected). -summary detects sharded artifact files automatically.
+//
+// With -shard-role N the process serves exactly one shard of a split
+// sharded build (from slug.Split / the federated example): the shard's
+// artifact file is located through -manifest, cross-checked against
+// the manifest's byte digest, and mounted behind the shard surface —
+// /shardinfo announces the shard index, shard count, and federation
+// epoch, and POST /batch/neighbors answers the coordinator's compact
+// binary batches. Shard serving is immutable and single-shard by
+// construction, so -shard-role is incompatible with -summary, -in,
+// -mutable, -shards, -mmap and -wal-dir. A cmd/fedserve coordinator
+// scatter-gathers across a set of these processes.
 //
 // -summary also auto-detects v2 zero-copy artifacts (from slugger
 // -format v2): without -mmap the file is read, checksummed and served
@@ -69,6 +81,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -97,11 +110,25 @@ func main() {
 		shards  = flag.Int("shards", 1, "partition -in into this many shards, summarize them concurrently and serve the federation (1 = unsharded; incompatible with -mutable)")
 		addr    = flag.String("addr", ":8080", "listen address")
 
+		shardRole = flag.Int("shard-role", -1, "serve exactly one shard of a split sharded build: the shard index to mount (requires -manifest; incompatible with every other serving mode)")
+		manifest  = flag.String("manifest", "", "with -shard-role: path to the manifest.json written by the split, used to locate and digest-verify the shard artifact")
+
 		walDir      = flag.String("wal-dir", "", "with -mutable: write-ahead-log directory — acknowledged updates are persisted there and recovered on restart (with a populated directory, -summary/-in are optional: the state comes from the log)")
 		fsync       = flag.String("fsync", "always", "with -wal-dir: fsync policy — always (no acknowledged update is ever lost), interval[=dur] (batched, bounded loss window), never (OS writeback)")
 		maxInflight = flag.Int("max-inflight", 0, "bound on concurrently executing requests; excess requests queue briefly and are then shed with 429 (0 = unbounded)")
 	)
 	flag.Parse()
+	if *manifest != "" && *shardRole < 0 {
+		log.Fatal("-manifest locates a shard for -shard-role: pass both")
+	}
+	if *shardRole >= 0 {
+		if *manifest == "" {
+			log.Fatal("-shard-role needs -manifest to locate and verify the shard artifact")
+		}
+		if *summary != "" || *in != "" || *mutable || *shards > 1 || *mmap || *walDir != "" {
+			log.Fatal("-shard-role mounts one verified shard of a split build: it is incompatible with -summary, -in, -mutable, -shards, -mmap and -wal-dir")
+		}
+	}
 	if *shards > 1 && *mutable {
 		// Reject the flag conflict before any work: a large sharded build
 		// can take minutes and would otherwise be thrown away.
@@ -130,6 +157,42 @@ func main() {
 		<-ctx.Done()
 		stop()
 	}()
+
+	if *shardRole >= 0 {
+		m, err := slug.LoadManifest(*manifest)
+		if err != nil {
+			log.Fatalf("loading manifest: %v", err)
+		}
+		if *shardRole >= m.NumShards() {
+			log.Fatalf("-shard-role %d out of range: the manifest describes %d shards", *shardRole, m.NumShards())
+		}
+		art, err := m.OpenShard(filepath.Dir(*manifest), *shardRole)
+		if err != nil {
+			log.Fatalf("opening shard %d: %v", *shardRole, err)
+		}
+		start := time.Now()
+		cs, err := art.Queryable()
+		if err != nil {
+			log.Fatalf("compiling shard %d: %v", *shardRole, err)
+		}
+		fmt.Printf("shard %d/%d verified and compiled: %d vertices / %d supernodes / %d superedges in %s (epoch %.12s...)\n",
+			*shardRole, m.NumShards(), cs.NumNodes(), cs.NumSupernodes(), cs.NumSuperedges(),
+			time.Since(start).Round(time.Millisecond), m.Epoch)
+		srv := serve.NewShard(cs, serve.ShardInfo{
+			Shard:     *shardRole,
+			Shards:    m.NumShards(),
+			Epoch:     m.Epoch,
+			Nodes:     cs.NumNodes(),
+			Version:   slug.EpochVersion(m.Epoch),
+			Algorithm: m.Algorithm,
+		}).WithAlgorithm(m.Algorithm).WithArtifact("shard-mount", 0, bootStart)
+		fmt.Printf("listening on %s (shard role %d of %d, algorithm %s)\n", *addr, *shardRole, m.NumShards(), m.Algorithm)
+		if err := srv.Run(ctx, *addr); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("shut down cleanly")
+		return
+	}
 
 	opts := []slug.Option{
 		slug.WithIterations(*t),

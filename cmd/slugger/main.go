@@ -7,6 +7,7 @@
 //	slugger -in graph.txt [-algo slugger] [-t 20] [-hb 0] [-seed 0] [-validate] [-v]
 //	slugger -in graph.txt -save out.slgc -format v2   (zero-copy serving artifact)
 //	slugger -in graph.txt -shards 4 [-workers 8] [-save out.slgs]
+//	slugger -in graph.txt -shards 4 -split shards/   (per-shard files + manifest)
 //
 // The input format is one "u v" pair per line ('#'/'%' comments
 // allowed). -algo selects among slugger, sweg, mosso, randomized and
@@ -21,7 +22,12 @@
 // sharded artifact (per-shard summaries plus a boundary-edge sidecar);
 // -validate, -save, -decode and -serve all work on the sharded path,
 // with serving federated across shards. -load detects sharded files
-// automatically.
+// automatically. -split additionally exports every shard as a
+// standalone artifact file into a directory, alongside a manifest.json
+// recording digests and the federation epoch — the input to serve
+// -shard-role (one process per shard) and fedserve (the coordinator).
+// -split honours -format: v1 exports portable envelopes, v2 exports
+// zero-copy layouts; the epoch is the same either way.
 //
 // -format selects the -save encoding: v1 (default) writes the portable
 // SLGA envelope, v2 writes the zero-copy compiled SLGC layout that
@@ -64,14 +70,18 @@ func main() {
 		decodeTo = flag.String("decode", "", "decode the artifact back to an edge-list file")
 		serveOn  = flag.String("serve", "", "after summarizing or loading, serve queries over HTTP on this address (e.g. :8080)")
 		shards   = flag.Int("shards", 1, "partition the graph into this many shards and summarize them concurrently (1 = unsharded)")
+		split    = flag.String("split", "", "with -shards: also export each shard standalone into this directory plus a digest manifest, for serve -shard-role / fedserve")
 		format   = flag.String("format", "v1", "artifact encoding for -save: v1 (portable SLGA envelope) or v2 (zero-copy compiled SLGC layout, bootable with serve -mmap)")
 	)
 	flag.Parse()
 	if *format != "v1" && *format != "v2" {
 		log.Fatalf("-format %q: must be v1 or v2", *format)
 	}
-	if *format == "v2" && *shards > 1 {
-		log.Fatal("-format v2 writes one compiled summary: incompatible with -shards (save sharded artifacts as v1)")
+	if *format == "v2" && *shards > 1 && *save != "" {
+		log.Fatal("-format v2 writes one compiled summary: incompatible with -shards -save (save sharded artifacts as v1; -split does accept -format v2)")
+	}
+	if *split != "" && *shards <= 1 {
+		log.Fatal("-split exports the shards of a sharded build: it requires -shards > 1")
 	}
 	// saveArtifact persists art to path in the selected encoding.
 	saveArtifact := func(path string, art slug.Artifact) error {
@@ -152,6 +162,17 @@ func main() {
 				log.Fatalf("saving artifact: %v", err)
 			}
 			fmt.Printf("sharded artifact written to %s\n", *save)
+		}
+		if *split != "" {
+			if err := os.MkdirAll(*split, 0o755); err != nil {
+				log.Fatalf("creating split directory: %v", err)
+			}
+			man, err := sh.Split(*split, *format)
+			if err != nil {
+				log.Fatalf("splitting artifact: %v", err)
+			}
+			fmt.Printf("split: %d shard files (%s) + %s in %s (epoch %.12s...)\n",
+				man.NumShards(), *format, slug.ManifestFilename, *split, man.Epoch)
 		}
 		finishSharded(sh, *decodeTo, *serveOn)
 		return

@@ -1,0 +1,671 @@
+package fed
+
+// The resilient scatter-gather client. Every shard-local call goes
+// through do(): pick endpoints (rotating across replicas, skipping
+// open circuit breakers), race a hedged second attempt when the first
+// is slow, classify the outcome (4xx responses are terminal — the
+// request itself is wrong and retrying cannot help; network errors and
+// 5xx are retryable), back off exponentially with jitter between
+// retries, and wrap whatever remains after the budget in a ShardError
+// naming the shard so the coordinator can surface *which* piece of the
+// federation is down. A background health loop probes every endpoint's
+// /healthz and (when an epoch is pinned) /shardinfo, feeding the same
+// breakers the request path trips, so a restarted shard is readmitted
+// without waiting for a live request to probe it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Config tunes the client. Zero values take the defaults noted on each
+// field.
+type Config struct {
+	// Timeout bounds each individual attempt (default 2s).
+	Timeout time.Duration
+	// Retries is the number of re-attempts after the first (default 2,
+	// so 3 attempts total; 0 keeps one retryable attempt budget of 1 —
+	// set via RetriesSet for a literal zero).
+	Retries int
+	// RetriesSet marks Retries as deliberate even when 0.
+	RetriesSet bool
+	// BackoffBase is the first retry delay (default 25ms); each retry
+	// doubles it, capped at BackoffCap (default 1s), plus up to 50%
+	// random jitter.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeDelay races a second replica when the first attempt has not
+	// answered within the delay (0 disables hedging; only fires when
+	// the shard has a second usable endpoint).
+	HedgeDelay time.Duration
+	// BreakerFailures consecutive failures open an endpoint's circuit
+	// (default 3); BreakerCooldown later it half-opens for one probe
+	// (default 1s).
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// HealthInterval spaces active health probes (0 disables the loop;
+	// start it with StartHealth).
+	HealthInterval time.Duration
+	// ExpectEpoch, when set, makes health probes verify each shard
+	// server's /shardinfo epoch: a server from a different sharded
+	// build is marked unhealthy rather than queried.
+	ExpectEpoch string
+	// Transport overrides the HTTP transport (tests inject failures
+	// here); nil uses a pooled transport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries <= 0 && !c.RetriesSet {
+		c.Retries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 25 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	return c
+}
+
+// endpoint is one replica of one shard, with its breaker and health
+// mark. Endpoints are keyed by URL across peer reloads, so breaker
+// state survives a SIGHUP that keeps the URL.
+type endpoint struct {
+	url     string
+	brk     *breaker
+	healthy atomic.Bool
+}
+
+// ShardError marks a shard-level failure: the wrapped error exhausted
+// the retry budget (or was terminal) against every usable endpoint of
+// one shard. The coordinator maps it to 503 naming the shard.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// statusError is a non-2xx response; 4xx are terminal.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("http %d: %s", e.status, e.msg) }
+
+func isTerminal(err error) bool {
+	var he *statusError
+	return errors.As(err, &he) && he.status >= 400 && he.status < 500
+}
+
+// Stats is a point-in-time snapshot of the client's resilience state,
+// served by the coordinator's /stats and asserted on by tests.
+type Stats struct {
+	Attempts uint64          `json:"attempts"`
+	Retries  uint64          `json:"retries"`
+	Hedges   uint64          `json:"hedges"`
+	Shards   []ShardEndpoint `json:"shards"`
+}
+
+// ShardEndpoint describes one endpoint's current disposition.
+type ShardEndpoint struct {
+	Shard   int    `json:"shard"`
+	URL     string `json:"url"`
+	Breaker string `json:"breaker"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Client is the resilient HTTP client of the federation: one instance
+// per coordinator, safe for concurrent use.
+type Client struct {
+	cfg Config
+	hc  *http.Client
+
+	mu     sync.RWMutex
+	shards [][]*endpoint
+
+	rr       []atomic.Uint64 // per-shard round-robin cursor
+	attempts atomic.Uint64
+	retries  atomic.Uint64
+	hedges   atomic.Uint64
+
+	jmu sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client over a validated peer set.
+func NewClient(p *Peers, cfg Config) (*Client, error) {
+	if err := p.validate(); err != nil {
+		return nil, fmt.Errorf("fed: %w", err)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.ExpectEpoch != "" && p.Epoch != "" && p.Epoch != cfg.ExpectEpoch {
+		return nil, fmt.Errorf("fed: peers file epoch %.12s... does not match expected %.12s... — refusing to federate mismatched epochs", p.Epoch, cfg.ExpectEpoch)
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	c := &Client{
+		cfg: cfg,
+		// No Client.Timeout: per-attempt contexts bound each call, and a
+		// global timeout would also cap hedged races.
+		hc:  &http.Client{Transport: transport},
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.install(p)
+	return c, nil
+}
+
+// install replaces the endpoint table, carrying breaker and health
+// state over for URLs that persist.
+func (c *Client) install(p *Peers) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := map[string]*endpoint{}
+	for _, eps := range c.shards {
+		for _, ep := range eps {
+			prev[ep.url] = ep
+		}
+	}
+	shards := make([][]*endpoint, len(p.Shards))
+	for s, urls := range p.Shards {
+		shards[s] = make([]*endpoint, len(urls))
+		for i, u := range urls {
+			if ep, ok := prev[u]; ok {
+				shards[s][i] = ep
+				continue
+			}
+			ep := &endpoint{url: u, brk: newBreaker(c.cfg.BreakerFailures, c.cfg.BreakerCooldown)}
+			ep.healthy.Store(true) // innocent until probed
+			shards[s][i] = ep
+		}
+	}
+	c.shards = shards
+	if len(c.rr) != len(shards) {
+		c.rr = make([]atomic.Uint64, len(shards))
+	}
+}
+
+// Reload swaps in a new peer set (e.g. after SIGHUP). The shard count
+// must not change — shard ownership is fixed by the artifact, only
+// endpoint addresses move — and a pinned epoch must match.
+func (c *Client) Reload(p *Peers) error {
+	if err := p.validate(); err != nil {
+		return fmt.Errorf("fed: %w", err)
+	}
+	if c.cfg.ExpectEpoch != "" && p.Epoch != "" && p.Epoch != c.cfg.ExpectEpoch {
+		return fmt.Errorf("fed: peers file epoch %.12s... does not match expected %.12s...", p.Epoch, c.cfg.ExpectEpoch)
+	}
+	c.mu.RLock()
+	cur := len(c.shards)
+	c.mu.RUnlock()
+	if len(p.Shards) != cur {
+		return fmt.Errorf("fed: peers file lists %d shards, federation has %d", len(p.Shards), cur)
+	}
+	c.install(p)
+	return nil
+}
+
+// NumShards returns the number of shards the client routes to.
+func (c *Client) NumShards() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.shards)
+}
+
+// Snapshot reports the client's resilience counters and per-endpoint
+// breaker/health state.
+func (c *Client) Snapshot() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	st := Stats{
+		Attempts: c.attempts.Load(),
+		Retries:  c.retries.Load(),
+		Hedges:   c.hedges.Load(),
+	}
+	for s, eps := range c.shards {
+		for _, ep := range eps {
+			st.Shards = append(st.Shards, ShardEndpoint{
+				Shard:   s,
+				URL:     ep.url,
+				Breaker: ep.brk.snapshot(),
+				Healthy: ep.healthy.Load(),
+			})
+		}
+	}
+	return st
+}
+
+// pick selects up to two usable endpoints for one attempt round:
+// rotated across replicas, open breakers skipped (allow() also admits
+// the half-open probe), unhealthy endpoints deprioritized but not
+// excluded — the health loop may simply not have caught up with a
+// recovery.
+func (c *Client) pick(shard int) []*endpoint {
+	c.mu.RLock()
+	eps := c.shards[shard]
+	start := int(c.rr[shard].Add(1) - 1)
+	c.mu.RUnlock()
+	var healthy, unhealthy []*endpoint
+	for i := range eps {
+		ep := eps[(start+i)%len(eps)]
+		if !ep.brk.allow() {
+			continue
+		}
+		if ep.healthy.Load() {
+			healthy = append(healthy, ep)
+		} else {
+			unhealthy = append(unhealthy, ep)
+		}
+	}
+	picked := append(healthy, unhealthy...)
+	if len(picked) > 2 {
+		picked = picked[:2]
+	}
+	// allow() on a half-open breaker claims the single probe slot; give
+	// back the slots of endpoints we are not actually going to call.
+	for i := range eps {
+		ep := eps[(start+i)%len(eps)]
+		claimed := false
+		for _, p := range picked {
+			if p == ep {
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			ep.brk.releaseProbe()
+		}
+	}
+	return picked
+}
+
+// releaseProbe undoes an allow() that was never followed by a call, so
+// an unpicked half-open endpoint can still admit its probe.
+func (b *breaker) releaseProbe() {
+	b.mu.Lock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// backoff sleeps the exponential-plus-jitter delay for retry round
+// attempt (1-based), or returns early when ctx is done.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.cfg.BackoffBase << (attempt - 1)
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	c.jmu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.jmu.Unlock()
+	select {
+	case <-time.After(d + jitter):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// op is one shard-local operation against a base URL.
+type op func(ctx context.Context, base string) (any, error)
+
+// call runs one attempt against one endpoint, bounded by the
+// per-attempt timeout, and settles the endpoint's breaker: success or
+// a terminal (4xx) answer closes it — the endpoint is alive and
+// answering — while network failures and 5xx count against it. A
+// cancellation inherited from the parent (hedge winner elsewhere,
+// caller gone) records nothing.
+func (c *Client) call(ctx context.Context, ep *endpoint, f op) (any, error) {
+	c.attempts.Add(1)
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	v, err := f(actx, ep.url)
+	switch {
+	case err == nil:
+		ep.brk.success()
+		ep.healthy.Store(true)
+		return v, nil
+	case isTerminal(err):
+		ep.brk.success()
+		return nil, err
+	case ctx.Err() != nil:
+		ep.brk.releaseProbe()
+		return nil, ctx.Err()
+	default:
+		ep.brk.failure()
+		return nil, err
+	}
+}
+
+// attempt runs one retry round: the primary endpoint immediately, a
+// hedged second endpoint if the primary has not settled within
+// HedgeDelay. The first success wins and cancels the other attempt;
+// the round fails only when every launched attempt has failed.
+func (c *Client) attempt(ctx context.Context, eps []*endpoint, f op) (any, error) {
+	if len(eps) == 1 || c.cfg.HedgeDelay <= 0 {
+		return c.call(ctx, eps[0], f)
+	}
+	type result struct {
+		v   any
+		err error
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan result, 2)
+	launch := func(ep *endpoint) {
+		go func() {
+			v, err := c.call(rctx, ep, f)
+			results <- result{v, err}
+		}()
+	}
+	launch(eps[0])
+	inflight := 1
+	hedge := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedge.Stop()
+	var firstErr error
+	for inflight > 0 {
+		select {
+		case <-hedge.C:
+			c.hedges.Add(1)
+			launch(eps[1])
+			inflight++
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				return r.v, nil // winner: deferred cancel stops the loser
+			}
+			if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+				firstErr = r.err
+			}
+			if isTerminal(r.err) {
+				return nil, r.err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, firstErr
+}
+
+// do is the resilience core: retry rounds over rotating endpoints with
+// backoff between them, stopping early on a terminal answer or caller
+// cancellation, wrapping the final failure in a ShardError.
+func (c *Client) do(ctx context.Context, shard int, f op) (any, error) {
+	if shard < 0 || shard >= c.NumShards() {
+		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("shard out of range [0,%d)", c.NumShards())}
+	}
+	var lastErr error
+	for round := 0; round <= c.cfg.Retries; round++ {
+		if round > 0 {
+			c.retries.Add(1)
+			if err := c.backoff(ctx, round); err != nil {
+				break
+			}
+		}
+		eps := c.pick(shard)
+		if len(eps) == 0 {
+			lastErr = fmt.Errorf("no endpoint available (circuit open)")
+			continue
+		}
+		v, err := c.attempt(ctx, eps, f)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if isTerminal(err) || ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, &ShardError{Shard: shard, Err: lastErr}
+}
+
+// get issues a GET and decodes a JSON body into out.
+func (c *Client) get(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{status: resp.StatusCode, msg: errMessage(body)}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// errMessage extracts the "error" field of a serve JSON error body,
+// falling back to the raw (truncated) body.
+func errMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(bytes.TrimSpace(body))
+}
+
+// NeighborsLocal fetches the neighbor lists of shard-local vertex ids
+// from the shard's binary batch endpoint, chunking to the server-side
+// batch cap. Results are in request order, in shard-local ids.
+func (c *Client) NeighborsLocal(ctx context.Context, shard int, ids []int32) ([][]int32, error) {
+	out := make([][]int32, 0, len(ids))
+	for off := 0; off < len(ids); off += serve.MaxBatchItems {
+		end := min(off+serve.MaxBatchItems, len(ids))
+		chunk := ids[off:end]
+		v, err := c.do(ctx, shard, func(ctx context.Context, base string) (any, error) {
+			return c.neighborsOnce(ctx, base, chunk)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v.([][]int32)...)
+	}
+	return out, nil
+}
+
+func (c *Client) neighborsOnce(ctx context.Context, base string, ids []int32) ([][]int32, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/batch/neighbors",
+		bytes.NewReader(serve.EncodeNeighborsRequest(ids)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &statusError{status: resp.StatusCode, msg: errMessage(body)}
+	}
+	return serve.DecodeNeighborsResponse(body, len(ids))
+}
+
+// HasEdgeLocal asks shard for an intra-shard edge in local ids.
+func (c *Client) HasEdgeLocal(ctx context.Context, shard int, u, v int32) (bool, error) {
+	r, err := c.do(ctx, shard, func(ctx context.Context, base string) (any, error) {
+		var body struct {
+			Exists bool `json:"exists"`
+		}
+		if err := c.get(ctx, fmt.Sprintf("%s/hasedge?u=%d&v=%d", base, u, v), &body); err != nil {
+			return nil, err
+		}
+		return body.Exists, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return r.(bool), nil
+}
+
+// ShardInfo fetches a shard server's identity.
+func (c *Client) ShardInfo(ctx context.Context, shard int) (serve.ShardInfo, error) {
+	r, err := c.do(ctx, shard, func(ctx context.Context, base string) (any, error) {
+		var info serve.ShardInfo
+		if err := c.get(ctx, base+"/shardinfo", &info); err != nil {
+			return nil, err
+		}
+		return info, nil
+	})
+	if err != nil {
+		return serve.ShardInfo{}, err
+	}
+	return r.(serve.ShardInfo), nil
+}
+
+// Healthy reports whether shard s currently has at least one endpoint
+// that is marked healthy and whose breaker admits requests.
+func (c *Client) Healthy(shard int) bool {
+	c.mu.RLock()
+	eps := c.shards[shard]
+	c.mu.RUnlock()
+	for _, ep := range eps {
+		if ep.healthy.Load() && ep.brk.snapshot() != "open" {
+			return true
+		}
+	}
+	return false
+}
+
+// StartHealth launches the active health loop: every HealthInterval it
+// probes each endpoint's /healthz (and /shardinfo when an epoch is
+// pinned), marking health and feeding the breakers — a probe success
+// closes a half-open circuit, so a restarted shard is readmitted
+// without a live request paying for the discovery. No-op when
+// HealthInterval is 0. Returns a stop function.
+func (c *Client) StartHealth(ctx context.Context) (stop func()) {
+	if c.cfg.HealthInterval <= 0 {
+		return func() {}
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(c.cfg.HealthInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hctx.Done():
+				return
+			case <-tick.C:
+				c.probeAll(hctx)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// probeAll health-checks every endpoint once, concurrently.
+func (c *Client) probeAll(ctx context.Context) {
+	c.mu.RLock()
+	type probe struct {
+		shard int
+		ep    *endpoint
+	}
+	var probes []probe
+	for s, eps := range c.shards {
+		for _, ep := range eps {
+			probes = append(probes, probe{s, ep})
+		}
+	}
+	c.mu.RUnlock()
+	var wg sync.WaitGroup
+	for _, p := range probes {
+		wg.Add(1)
+		go func(p probe) {
+			defer wg.Done()
+			c.probeOne(ctx, p.shard, p.ep)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// probeOne checks one endpoint: /healthz must answer 200, and with a
+// pinned epoch /shardinfo must report the expected epoch and shard
+// index. Outcomes feed both the health mark and the breaker (via
+// allow/success/failure, respecting the half-open single-probe rule).
+func (c *Client) probeOne(ctx context.Context, shard int, ep *endpoint) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	ok := func() bool {
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := c.get(pctx, ep.url+"/healthz", &h); err != nil {
+			return false
+		}
+		if c.cfg.ExpectEpoch != "" {
+			var info serve.ShardInfo
+			if err := c.get(pctx, ep.url+"/shardinfo", &info); err != nil {
+				return false
+			}
+			if info.Epoch != c.cfg.ExpectEpoch || info.Shard != shard {
+				return false
+			}
+		}
+		return true
+	}()
+	ep.healthy.Store(ok)
+	if ctx.Err() != nil {
+		return // shutdown race: don't let a cancelled probe trip the breaker
+	}
+	if ok {
+		ep.brk.success()
+	} else if ep.brk.allow() {
+		// Only count the failure when the breaker would have admitted a
+		// request (claiming the half-open probe slot when there is one);
+		// probing an already-open circuit must not extend its cooldown.
+		ep.brk.failure()
+	}
+}

@@ -1,0 +1,409 @@
+package fed_test
+
+// Chaos tests for the resilient client: injected 5xx storms, terminal
+// 4xx answers, slow responses vs. the per-attempt timeout, connection
+// resets, hedging (fires, wins, cancels the loser), circuit breaker
+// lifecycle (opens, fast-fails, half-open probe, closes), and peer
+// reload semantics.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/serve"
+)
+
+// neighborsHandler answers /batch/neighbors with a fixed single-vertex
+// answer, plus /healthz and /hasedge, behind an injectable failure
+// hook.
+func neighborsHandler(fail func(w http.ResponseWriter) bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	})
+	mux.HandleFunc("/hasedge", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && fail(w) {
+			return
+		}
+		w.Write([]byte(`{"u":0,"v":1,"exists":true}`))
+	})
+	mux.HandleFunc("/batch/neighbors", func(w http.ResponseWriter, r *http.Request) {
+		if fail != nil && fail(w) {
+			return
+		}
+		buf := serve.AppendNeighborsResponseHeader(nil, 1)
+		buf = serve.AppendNeighborsResponseList(buf, []int32{1, 2, 3})
+		w.Write(buf)
+	})
+	return mux
+}
+
+func singleShardClient(t *testing.T, url string, cfg fed.Config) *fed.Client {
+	t.Helper()
+	c, err := fed.NewClient(&fed.Peers{Shards: [][]string{{url}}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetryExhaustionBounded(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(neighborsHandler(func(w http.ResponseWriter) bool {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		return true
+	}))
+	defer ts.Close()
+
+	c := singleShardClient(t, ts.URL, fed.Config{
+		Retries: 2, RetriesSet: true,
+		BackoffBase: time.Millisecond, BackoffCap: 4 * time.Millisecond,
+		BreakerFailures: 100, // keep the breaker out of this test
+	})
+	start := time.Now()
+	_, err := c.NeighborsLocal(context.Background(), 0, []int32{0})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	var se *fed.ShardError
+	if !asShardError(err, &se) || se.Shard != 0 {
+		t.Fatalf("error %v does not identify the shard", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	st := c.Snapshot()
+	if st.Attempts != 3 || st.Retries != 2 {
+		t.Fatalf("snapshot attempts=%d retries=%d, want 3/2", st.Attempts, st.Retries)
+	}
+	// 2 backoffs ≤ (1+0.5) + (2+1) ms plus overhead: well under a second.
+	if elapsed > 2*time.Second {
+		t.Fatalf("retry budget took %v", elapsed)
+	}
+}
+
+func TestTerminalErrorNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(neighborsHandler(func(w http.ResponseWriter) bool {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"vertex out of range"}`))
+		return true
+	}))
+	defer ts.Close()
+
+	c := singleShardClient(t, ts.URL, fed.Config{Retries: 5})
+	_, err := c.NeighborsLocal(context.Background(), 0, []int32{0})
+	if err == nil {
+		t.Fatal("4xx reported success")
+	}
+	if !strings.Contains(err.Error(), "vertex out of range") {
+		t.Fatalf("server error message lost: %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("terminal 4xx retried: server saw %d attempts", got)
+	}
+}
+
+func TestAttemptTimeoutAndRecovery(t *testing.T) {
+	var slow atomic.Bool
+	slow.Store(true)
+	ts := httptest.NewServer(neighborsHandler(func(w http.ResponseWriter) bool {
+		if slow.Load() {
+			time.Sleep(300 * time.Millisecond)
+			w.WriteHeader(http.StatusInternalServerError)
+			return true
+		}
+		return false
+	}))
+	defer ts.Close()
+
+	c := singleShardClient(t, ts.URL, fed.Config{
+		Timeout: 30 * time.Millisecond,
+		Retries: 1, RetriesSet: true,
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+		BreakerFailures: 100,
+	})
+	start := time.Now()
+	_, err := c.NeighborsLocal(context.Background(), 0, []int32{0})
+	if err == nil {
+		t.Fatal("timed-out attempts reported success")
+	}
+	// 2 attempts × 30ms timeout + backoff: nowhere near the 300ms the
+	// server stalls for per attempt.
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("timeout not enforced: %v elapsed", elapsed)
+	}
+	slow.Store(false)
+	if _, err := c.NeighborsLocal(context.Background(), 0, []int32{0}); err != nil {
+		t.Fatalf("recovery after slowness failed: %v", err)
+	}
+}
+
+func TestConnectionResetRetried(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 1 {
+			// Hijack and slam the connection: the client sees a reset
+			// mid-response, a retryable transport error.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("no hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		buf := serve.AppendNeighborsResponseHeader(nil, 1)
+		buf = serve.AppendNeighborsResponseList(buf, []int32{7})
+		w.Write(buf)
+	}))
+	defer ts.Close()
+
+	c := singleShardClient(t, ts.URL, fed.Config{
+		Retries: 2, RetriesSet: true,
+		BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond,
+	})
+	lists, err := c.NeighborsLocal(context.Background(), 0, []int32{0})
+	if err != nil {
+		t.Fatalf("reset not retried: %v", err)
+	}
+	if fmt.Sprint(lists[0]) != "[7]" {
+		t.Fatalf("wrong answer after retry: %v", lists)
+	}
+	if hits.Load() < 2 {
+		t.Fatal("server only saw one attempt")
+	}
+}
+
+func TestHedgingFiresAndCancelsLoser(t *testing.T) {
+	// The slow replica stalls until its request context is cancelled —
+	// which is exactly what should happen when the hedged fast replica
+	// wins the race.
+	loserCancelled := make(chan struct{}, 1)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body (as real shard handlers do) so the server's
+		// background read blocks on the connection and notices the
+		// client closing it — that close IS the cancellation signal.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case <-time.After(5 * time.Second):
+			t.Error("slow replica was never cancelled")
+		case <-r.Context().Done():
+			select {
+			case loserCancelled <- struct{}{}:
+			default:
+			}
+		}
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(neighborsHandler(nil))
+	defer fast.Close()
+
+	c, err := fed.NewClient(
+		&fed.Peers{Shards: [][]string{{slow.URL, fast.URL}}},
+		fed.Config{
+			Timeout:    3 * time.Second,
+			Retries:    0, RetriesSet: true,
+			HedgeDelay:      20 * time.Millisecond,
+			BreakerFailures: 100,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	lists, err := c.NeighborsLocal(context.Background(), 0, []int32{0})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("hedged request failed: %v", err)
+	}
+	if fmt.Sprint(lists[0]) != "[1 2 3]" {
+		t.Fatalf("hedged answer = %v", lists)
+	}
+	// The fast replica answered; the slow one would have taken 5s.
+	if elapsed > time.Second {
+		t.Fatalf("hedge did not rescue the request: %v elapsed", elapsed)
+	}
+	if st := c.Snapshot(); st.Hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", st.Hedges)
+	}
+	select {
+	case <-loserCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("losing attempt was not cancelled")
+	}
+}
+
+func asShardError(err error, target **fed.ShardError) bool {
+	for err != nil {
+		if se, ok := err.(*fed.ShardError); ok {
+			*target = se
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int64
+	ts := httptest.NewServer(neighborsHandler(func(w http.ResponseWriter) bool {
+		hits.Add(1)
+		if failing.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return true
+		}
+		return false
+	}))
+	defer ts.Close()
+
+	c := singleShardClient(t, ts.URL, fed.Config{
+		Retries: 0, RetriesSet: true,
+		BackoffBase:     time.Millisecond,
+		BreakerFailures: 2,
+		BreakerCooldown: 60 * time.Millisecond,
+	})
+	ctx := context.Background()
+
+	// Two failures open the circuit.
+	for i := 0; i < 2; i++ {
+		if _, err := c.NeighborsLocal(ctx, 0, []int32{0}); err == nil {
+			t.Fatal("failing server reported success")
+		}
+	}
+	if st := c.Snapshot().Shards[0].Breaker; st != "open" {
+		t.Fatalf("breaker after %d failures = %s, want open", 2, st)
+	}
+
+	// While open, requests fast-fail without touching the server.
+	before := hits.Load()
+	if _, err := c.NeighborsLocal(ctx, 0, []int32{0}); err == nil {
+		t.Fatal("open breaker admitted a request")
+	} else if !strings.Contains(err.Error(), "circuit open") {
+		t.Fatalf("fast-fail error = %v", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker let a request through")
+	}
+
+	// After the cooldown the half-open probe goes through; with the
+	// server still failing it reopens...
+	time.Sleep(70 * time.Millisecond)
+	if _, err := c.NeighborsLocal(ctx, 0, []int32{0}); err == nil {
+		t.Fatal("failing probe reported success")
+	}
+	if hits.Load() != before+1 {
+		t.Fatalf("half-open admitted %d probes, want 1", hits.Load()-before)
+	}
+	if st := c.Snapshot().Shards[0].Breaker; st != "open" {
+		t.Fatalf("breaker after failed probe = %s, want open", st)
+	}
+
+	// ...and once the server heals, the next probe closes the circuit.
+	failing.Store(false)
+	time.Sleep(70 * time.Millisecond)
+	if _, err := c.NeighborsLocal(ctx, 0, []int32{0}); err != nil {
+		t.Fatalf("healed probe failed: %v", err)
+	}
+	if st := c.Snapshot().Shards[0].Breaker; st != "closed" {
+		t.Fatalf("breaker after recovery = %s, want closed", st)
+	}
+}
+
+func TestPeersReloadPreservesBreakers(t *testing.T) {
+	ts := httptest.NewServer(neighborsHandler(func(w http.ResponseWriter) bool {
+		w.WriteHeader(http.StatusInternalServerError)
+		return true
+	}))
+	defer ts.Close()
+
+	c := singleShardClient(t, ts.URL, fed.Config{
+		Retries: 0, RetriesSet: true,
+		BreakerFailures: 1, BreakerCooldown: time.Hour,
+	})
+	c.NeighborsLocal(context.Background(), 0, []int32{0})
+	if st := c.Snapshot().Shards[0].Breaker; st != "open" {
+		t.Fatalf("breaker = %s, want open", st)
+	}
+
+	// Reload keeping the URL: breaker state survives.
+	if err := c.Reload(&fed.Peers{Shards: [][]string{{ts.URL}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Snapshot().Shards[0].Breaker; st != "open" {
+		t.Fatalf("breaker after same-URL reload = %s, want open", st)
+	}
+
+	// Reload with a fresh URL: the new endpoint starts closed.
+	if err := c.Reload(&fed.Peers{Shards: [][]string{{"http://127.0.0.1:1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Snapshot().Shards[0].Breaker; st != "closed" {
+		t.Fatalf("breaker after new-URL reload = %s, want closed", st)
+	}
+
+	// Shard-count changes are refused.
+	err := c.Reload(&fed.Peers{Shards: [][]string{{"http://a:1"}, {"http://b:1"}}})
+	if err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("shard-count change accepted: %v", err)
+	}
+}
+
+func TestLoadPeersValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := fed.LoadPeers(write("ok.json", `{"shards":[["http://a:1"],["http://b:2","http://c:3"]]}`)); err != nil {
+		t.Fatal(err)
+	}
+	for name, content := range map[string]string{
+		"garbage.json":  `not json`,
+		"empty.json":    `{"shards":[]}`,
+		"noeps.json":    `{"shards":[["http://a:1"],[]]}`,
+		"relative.json": `{"shards":[["not-a-url"]]}`,
+		"scheme.json":   `{"shards":[["ftp://a:1"]]}`,
+	} {
+		if _, err := fed.LoadPeers(write(name, content)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := fed.LoadPeers(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+
+	// Epoch pinning: a client refuses a peers file from another build.
+	if _, err := fed.NewClient(
+		&fed.Peers{Epoch: "aaa", Shards: [][]string{{"http://a:1"}}},
+		fed.Config{ExpectEpoch: "bbb"},
+	); err == nil || !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("epoch mismatch accepted: %v", err)
+	}
+}

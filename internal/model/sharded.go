@@ -10,6 +10,12 @@ package model
 // CSR for cross-shard ones. Like CompiledSummary, all per-query state
 // lives in a pooled context, so one ShardedCompiled serves any number
 // of concurrent readers.
+//
+// The routing half of the structure — which shard owns each global
+// vertex, the local↔global id maps, and the boundary-edge CSR — stands
+// alone as Routing, so a network coordinator (internal/fed) can route
+// queries to remote shard servers with exactly the same logic this file
+// uses to route them to in-process engines.
 
 import (
 	"fmt"
@@ -20,13 +26,14 @@ import (
 	"repro/internal/graph"
 )
 
-// ShardedCompiled is an immutable federation of per-shard compiled
-// summaries behind the global vertex-id space. Safe for any number of
-// concurrent readers; per-query scratch lives in ShardedCtx.
-type ShardedCompiled struct {
-	n      int
-	shards []*CompiledSummary
-
+// Routing is the shard-ownership and boundary structure of a sharded
+// summary, independent of how the per-shard summaries are hosted: it
+// answers "which shard owns vertex v", translates between global and
+// shard-local ids, and holds the cross-shard (boundary) adjacency as a
+// CSR with sorted windows. Immutable after construction and safe for
+// any number of concurrent readers.
+type Routing struct {
+	n        int
 	shardOf  []int32   // global id -> owning shard
 	localOf  []int32   // global id -> local id within the shard
 	globalID [][]int32 // shard -> local id -> global id (ascending)
@@ -36,33 +43,24 @@ type ShardedCompiled struct {
 	bOff     []int64
 	bAdj     []int32
 	boundary int // number of cross-shard edges
-
-	ctxPool sync.Pool
 }
 
-// NewShardedCompiled federates per-shard compiled summaries into one
-// queryable engine. globalID[s][l] maps shard s's local vertex l to its
-// global id; the maps must form a bijection onto 0..n-1 (n = total
-// vertices across shards) with each list strictly ascending. boundary
-// lists the cross-shard edges in global ids; endpoints must belong to
-// different shards.
-func NewShardedCompiled(shards []*CompiledSummary, globalID [][]int32, boundary [][2]int32) (*ShardedCompiled, error) {
-	if len(shards) == 0 {
-		return nil, fmt.Errorf("model: sharded summary needs at least one shard")
-	}
-	if len(globalID) != len(shards) {
-		return nil, fmt.Errorf("model: %d shards but %d id maps", len(shards), len(globalID))
+// NewRouting builds the routing structure for a sharded summary.
+// globalID[s][l] maps shard s's local vertex l to its global id; the
+// maps must form a bijection onto 0..n-1 (n = total vertices across
+// shards) with each list strictly ascending. boundary lists the
+// cross-shard edges in global ids; endpoints must belong to different
+// shards and no edge may repeat.
+func NewRouting(globalID [][]int32, boundary [][2]int32) (*Routing, error) {
+	if len(globalID) == 0 {
+		return nil, fmt.Errorf("model: routing needs at least one shard")
 	}
 	n := 0
-	for s, cs := range shards {
-		if cs.NumNodes() != len(globalID[s]) {
-			return nil, fmt.Errorf("model: shard %d has %d vertices but an id map of %d", s, cs.NumNodes(), len(globalID[s]))
-		}
-		n += cs.NumNodes()
+	for _, ids := range globalID {
+		n += len(ids)
 	}
-	sc := &ShardedCompiled{
+	rt := &Routing{
 		n:        n,
-		shards:   shards,
 		shardOf:  make([]int32, n),
 		localOf:  make([]int32, n),
 		globalID: globalID,
@@ -83,8 +81,8 @@ func NewShardedCompiled(shards []*CompiledSummary, globalID [][]int32, boundary 
 				return nil, fmt.Errorf("model: global vertex %d owned by two shards", v)
 			}
 			assigned[v] = true
-			sc.shardOf[v] = int32(s)
-			sc.localOf[v] = int32(l)
+			rt.shardOf[v] = int32(s)
+			rt.localOf[v] = int32(l)
 		}
 	}
 	// Bijection: n ids over n slots with no duplicates covers everything.
@@ -98,28 +96,28 @@ func NewShardedCompiled(shards []*CompiledSummary, globalID [][]int32, boundary 
 		if u == v {
 			return nil, fmt.Errorf("model: boundary edge %d is a self-loop on %d", i, u)
 		}
-		if sc.shardOf[u] == sc.shardOf[v] {
-			return nil, fmt.Errorf("model: boundary edge %d (%d,%d) lies inside shard %d", i, u, v, sc.shardOf[u])
+		if rt.shardOf[u] == rt.shardOf[v] {
+			return nil, fmt.Errorf("model: boundary edge %d (%d,%d) lies inside shard %d", i, u, v, rt.shardOf[u])
 		}
 		deg[u+1]++
 		deg[v+1]++
 	}
-	sc.bOff = make([]int64, n+1)
+	rt.bOff = make([]int64, n+1)
 	for v := 1; v <= n; v++ {
-		sc.bOff[v] = sc.bOff[v-1] + deg[v]
+		rt.bOff[v] = rt.bOff[v-1] + deg[v]
 	}
-	sc.bAdj = make([]int32, sc.bOff[n])
+	rt.bAdj = make([]int32, rt.bOff[n])
 	cursor := make([]int64, n)
-	copy(cursor, sc.bOff[:n])
+	copy(cursor, rt.bOff[:n])
 	for _, e := range boundary {
 		u, v := e[0], e[1]
-		sc.bAdj[cursor[u]] = v
+		rt.bAdj[cursor[u]] = v
 		cursor[u]++
-		sc.bAdj[cursor[v]] = u
+		rt.bAdj[cursor[v]] = u
 		cursor[v]++
 	}
 	for v := 0; v < n; v++ {
-		w := sc.bAdj[sc.bOff[v]:sc.bOff[v+1]]
+		w := rt.bAdj[rt.bOff[v]:rt.bOff[v+1]]
 		slices.Sort(w)
 		for i := 1; i < len(w); i++ {
 			if w[i] == w[i-1] {
@@ -127,23 +125,107 @@ func NewShardedCompiled(shards []*CompiledSummary, globalID [][]int32, boundary 
 			}
 		}
 	}
-	return sc, nil
+	return rt, nil
 }
 
 // NumNodes returns the number of global leaf vertices.
-func (sc *ShardedCompiled) NumNodes() int { return sc.n }
+func (rt *Routing) NumNodes() int { return rt.n }
 
 // NumShards returns the number of shards.
-func (sc *ShardedCompiled) NumShards() int { return len(sc.shards) }
+func (rt *Routing) NumShards() int { return len(rt.globalID) }
+
+// ShardOf returns the shard owning global vertex v.
+func (rt *Routing) ShardOf(v int32) int32 { return rt.shardOf[v] }
+
+// LocalOf returns v's local id within its owning shard.
+func (rt *Routing) LocalOf(v int32) int32 { return rt.localOf[v] }
+
+// GlobalIDs returns shard s's ascending local→global id map. The
+// returned slice is shared; callers must not mutate it.
+func (rt *Routing) GlobalIDs(s int) []int32 { return rt.globalID[s] }
+
+// ShardSize returns the number of vertices owned by shard s.
+func (rt *Routing) ShardSize(s int) int { return len(rt.globalID[s]) }
+
+// NumBoundaryEdges returns the number of cross-shard edges.
+func (rt *Routing) NumBoundaryEdges() int { return rt.boundary }
+
+// BoundaryOf returns v's sorted cross-shard neighbors in global ids.
+// The returned slice is shared; callers must not mutate it.
+func (rt *Routing) BoundaryOf(v int32) []int32 {
+	return rt.bAdj[rt.bOff[v]:rt.bOff[v+1]]
+}
+
+// BoundaryHasEdge reports whether {u,v} is a cross-shard edge, by
+// binary search of the smaller endpoint window.
+func (rt *Routing) BoundaryHasEdge(u, v int32) bool {
+	wu, wv := rt.BoundaryOf(u), rt.BoundaryOf(v)
+	w, target := wu, v
+	if len(wv) < len(wu) {
+		w, target = wv, u
+	}
+	i := sort.Search(len(w), func(i int) bool { return w[i] >= target })
+	return i < len(w) && w[i] == target
+}
+
+// MergeBoundary merges a shard's local neighbor answer (ascending local
+// ids, translated through gid) with v's boundary adjacency into out
+// (the two sets are disjoint for a well-formed sharded summary). It
+// returns the appended slice.
+func (rt *Routing) MergeBoundary(out []int32, v int32, local []int32, gid []int32) []int32 {
+	bnd := rt.BoundaryOf(v)
+	i, j := 0, 0
+	for i < len(local) && j < len(bnd) {
+		if g := gid[local[i]]; g < bnd[j] {
+			out = append(out, g)
+			i++
+		} else {
+			out = append(out, bnd[j])
+			j++
+		}
+	}
+	for ; i < len(local); i++ {
+		out = append(out, gid[local[i]])
+	}
+	return append(out, bnd[j:]...)
+}
+
+// ShardedCompiled is an immutable federation of per-shard compiled
+// summaries behind the global vertex-id space. Safe for any number of
+// concurrent readers; per-query scratch lives in ShardedCtx.
+type ShardedCompiled struct {
+	*Routing
+	shards  []*CompiledSummary
+	version uint64
+
+	ctxPool sync.Pool
+}
+
+// NewShardedCompiled federates per-shard compiled summaries into one
+// queryable engine. globalID and boundary obey the NewRouting
+// contract; additionally each shard's vertex count must match its id
+// map.
+func NewShardedCompiled(shards []*CompiledSummary, globalID [][]int32, boundary [][2]int32) (*ShardedCompiled, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("model: sharded summary needs at least one shard")
+	}
+	if len(globalID) != len(shards) {
+		return nil, fmt.Errorf("model: %d shards but %d id maps", len(shards), len(globalID))
+	}
+	for s, cs := range shards {
+		if cs.NumNodes() != len(globalID[s]) {
+			return nil, fmt.Errorf("model: shard %d has %d vertices but an id map of %d", s, cs.NumNodes(), len(globalID[s]))
+		}
+	}
+	rt, err := NewRouting(globalID, boundary)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedCompiled{Routing: rt, shards: shards}, nil
+}
 
 // Shard returns shard s's compiled summary (in shard-local ids).
 func (sc *ShardedCompiled) Shard(s int) *CompiledSummary { return sc.shards[s] }
-
-// ShardOf returns the shard owning global vertex v.
-func (sc *ShardedCompiled) ShardOf(v int32) int32 { return sc.shardOf[v] }
-
-// NumBoundaryEdges returns the number of cross-shard edges.
-func (sc *ShardedCompiled) NumBoundaryEdges() int { return sc.boundary }
 
 // NumSupernodes returns the total supernode count across shards.
 func (sc *ShardedCompiled) NumSupernodes() int {
@@ -163,15 +245,20 @@ func (sc *ShardedCompiled) NumSuperedges() int {
 	return total
 }
 
-// Version returns 0: a sharded compilation is immutable, so every
-// query observes the same snapshot (the counterpart of
-// DeltaOverlay.Version for cache keying).
-func (sc *ShardedCompiled) Version() uint64 { return 0 }
+// Version returns the identity of the summarized content, for cache
+// keying (the counterpart of DeltaOverlay.Version) and the
+// X-Summary-Version response header. A sharded compilation is
+// immutable, so the version never changes after construction; it is 0
+// ("unversioned") until SetVersion threads through a real content
+// version — slug.Sharded.Queryable derives one from the artifact's
+// epoch digest, so every sharded engine reached through the public API
+// reports the same version a network coordinator computes for the same
+// envelope.
+func (sc *ShardedCompiled) Version() uint64 { return sc.version }
 
-// boundaryOf returns v's sorted cross-shard neighbors (global ids).
-func (sc *ShardedCompiled) boundaryOf(v int32) []int32 {
-	return sc.bAdj[sc.bOff[v]:sc.bOff[v+1]]
-}
+// SetVersion records the content version reported by Version. Call it
+// once, before the engine is shared with concurrent readers.
+func (sc *ShardedCompiled) SetVersion(v uint64) { sc.version = v }
 
 // ShardedCtx is the per-goroutine query context for a ShardedCompiled:
 // per-shard compiled contexts (acquired lazily, kept across queries)
@@ -214,23 +301,7 @@ func (c *ShardedCtx) NeighborsOf(v int32) []int32 {
 	sc := c.sc
 	s := sc.shardOf[v]
 	local := c.shardCtx(s).NeighborsOf(sc.localOf[v])
-	gid := sc.globalID[s]
-	bnd := sc.boundaryOf(v)
-	c.out = c.out[:0]
-	i, j := 0, 0
-	for i < len(local) && j < len(bnd) {
-		if g := gid[local[i]]; g < bnd[j] {
-			c.out = append(c.out, g)
-			i++
-		} else {
-			c.out = append(c.out, bnd[j])
-			j++
-		}
-	}
-	for ; i < len(local); i++ {
-		c.out = append(c.out, gid[local[i]])
-	}
-	c.out = append(c.out, bnd[j:]...)
+	c.out = sc.MergeBoundary(c.out[:0], v, local, sc.globalID[s])
 	return c.out
 }
 
@@ -238,7 +309,7 @@ func (c *ShardedCtx) NeighborsOf(v int32) []int32 {
 func (c *ShardedCtx) Degree(v int32) int {
 	sc := c.sc
 	s := sc.shardOf[v]
-	return c.shardCtx(s).Degree(sc.localOf[v]) + len(sc.boundaryOf(v))
+	return c.shardCtx(s).Degree(sc.localOf[v]) + len(sc.BoundaryOf(v))
 }
 
 // HasEdge reports whether the represented graph contains {u,v}: the
@@ -253,19 +324,7 @@ func (c *ShardedCtx) HasEdge(u, v int32) bool {
 	if su == sv {
 		return c.shardCtx(su).HasEdge(sc.localOf[u], sc.localOf[v])
 	}
-	return sc.boundaryHasEdge(u, v)
-}
-
-// boundaryHasEdge searches the smaller endpoint window for the other
-// endpoint.
-func (sc *ShardedCompiled) boundaryHasEdge(u, v int32) bool {
-	wu, wv := sc.boundaryOf(u), sc.boundaryOf(v)
-	w, target := wu, v
-	if len(wv) < len(wu) {
-		w, target = wv, u
-	}
-	i := sort.Search(len(w), func(i int) bool { return w[i] >= target })
-	return i < len(w) && w[i] == target
+	return sc.BoundaryHasEdge(u, v)
 }
 
 // NeighborsOf is the context-free convenience form: it returns a
@@ -285,7 +344,7 @@ func (sc *ShardedCompiled) HasEdge(u, v int32) bool {
 		return false
 	}
 	if sc.shardOf[u] != sc.shardOf[v] {
-		return sc.boundaryHasEdge(u, v) // no context needed
+		return sc.BoundaryHasEdge(u, v) // no context needed
 	}
 	ctx := sc.AcquireCtx()
 	ok := ctx.HasEdge(u, v)

@@ -116,7 +116,17 @@ func TestShardedCompiledConvenienceForms(t *testing.T) {
 		t.Fatalf("batch visited %d vertices, want 3", count)
 	}
 	if sc.Version() != 0 {
-		t.Fatalf("Version = %d, want 0", sc.Version())
+		t.Fatalf("fresh Version = %d, want 0 (unversioned)", sc.Version())
+	}
+	sc.SetVersion(42)
+	if sc.Version() != 42 {
+		t.Fatalf("Version after SetVersion = %d, want 42", sc.Version())
+	}
+	if sc.ShardOf(0) != sc.ShardOf(sc.GlobalIDs(int(sc.ShardOf(0)))[0]) {
+		t.Fatal("routing accessors disagree")
+	}
+	if lv := sc.LocalOf(0); sc.GlobalIDs(int(sc.ShardOf(0)))[lv] != 0 {
+		t.Fatalf("LocalOf(0) = %d does not map back to 0", lv)
 	}
 	if sc.NumShards() != 4 {
 		t.Fatalf("NumShards = %d", sc.NumShards())

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -38,8 +39,12 @@ const (
 	// maxRequestBody caps every request body read; oversized payloads
 	// get 413 instead of exhausting memory.
 	maxRequestBody = 8 << 20
-	// maxBatchItems caps the per-request work of batched endpoints.
-	maxBatchItems = 10000
+	// MaxBatchItems caps the per-request work of batched endpoints.
+	// Exported so federation clients (internal/fed) chunk their
+	// scatter-gather fan-out to exactly the server-side limit.
+	MaxBatchItems = 10000
+	// maxBatchItems is the historical private name.
+	maxBatchItems = MaxBatchItems
 )
 
 // View is the read surface every request handler consumes: one
@@ -65,6 +70,7 @@ type Server struct {
 	static View        // frozen snapshot for immutable servers
 	n      int         // leaf vertices (fixed across updates)
 	algo   string      // producing algorithm, reported by /stats when known
+	shard  *ShardInfo  // non-nil when serving one shard of a federation
 
 	mu        sync.Mutex
 	prCache   map[prKey][]float64
@@ -110,6 +116,33 @@ func NewSharded(sc *model.ShardedCompiled) *Server {
 		n:       sc.NumNodes(),
 		prCache: make(map[prKey][]float64),
 	}
+}
+
+// ShardInfo identifies one shard server of a network federation: which
+// shard of how many it serves, the federation epoch it was split from
+// (coordinators refuse to federate mismatched epochs), the shard's
+// local vertex count, the content version, and the producing
+// algorithm. Served verbatim by GET /shardinfo.
+type ShardInfo struct {
+	Shard     int    `json:"shard"`
+	Shards    int    `json:"shards"`
+	Epoch     string `json:"epoch"`
+	Nodes     int    `json:"nodes"`
+	Version   uint64 `json:"version"`
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// NewShard wraps one shard's compiled summary (in shard-local vertex
+// ids) in a read-only shard server: all ordinary endpoints answer in
+// local ids, and GET /shardinfo reports the shard's identity so a
+// coordinator can verify it is talking to the shard — and the epoch —
+// it expects. The binary POST /batch/neighbors endpoint is the
+// intended hot path for coordinator fan-out.
+func NewShard(cs *model.CompiledSummary, info ShardInfo) *Server {
+	s := New(cs)
+	s.shard = &info
+	s.algo = info.Algorithm
+	return s
 }
 
 // NewLive wraps a live summary in a mutable query server: queries run
@@ -168,16 +201,27 @@ func (s *Server) view() View {
 	return s.static
 }
 
+// Sourcer lets a View supply its own traversal source for whole-graph
+// algorithms (PageRank). A federated coordinator view implements it to
+// run traversals over a gathered adjacency instead of one remote
+// round-trip per Neighbors call.
+type Sourcer interface {
+	Source() (algos.NeighborSource, func(), error)
+}
+
 // newSource adapts a view to the traversal interface graph algorithms
-// run on, returning the source and its release hook.
-func newSource(v View) (algos.NeighborSource, func()) {
+// run on, returning the source, its release hook, and an error when a
+// Sourcer view cannot currently produce one (e.g. a shard is down).
+func newSource(v View) (algos.NeighborSource, func(), error) {
 	switch x := v.(type) {
+	case Sourcer:
+		return x.Source()
 	case *model.DeltaOverlay:
 		src := algos.OnView(x)
-		return src, src.Release
+		return src, src.Release, nil
 	case *model.ShardedCompiled:
 		src := algos.OnSharded(x)
-		return src, src.Release
+		return src, src.Release, nil
 	default:
 		// Generic fallback for other View implementations: one batched
 		// lookup per Neighbors call (correct, just not context-pooled).
@@ -187,7 +231,7 @@ func newSource(v View) (algos.NeighborSource, func()) {
 				out = append(out[:0], nbrs...)
 			})
 			return out
-		}), func() {}
+		}), func() {}, nil
 	}
 }
 
@@ -200,6 +244,9 @@ func newSource(v View) (algos.NeighborSource, func()) {
 //	GET  /neighbors?v=3               sorted neighbors of one vertex
 //	GET  /neighbors?v=3,7,9           batched: one pooled context for all
 //	POST /neighbors {"v":[3,7,9]}     JSON batch form
+//	POST /batch/neighbors             binary batch form (wire.go framing;
+//	                                  the federation fan-out hot path)
+//	GET  /shardinfo                   shard identity (NewShard servers only)
 //	GET  /hasedge?u=1&v=2             edge-existence point query
 //	GET  /pagerank?d=0.85&t=20&top=10 top-k PageRank on the summary
 //	POST /update {"u":1,"v":2}        insert/delete edges (mutable servers;
@@ -217,9 +264,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /neighbors", s.handleNeighbors)
 	mux.HandleFunc("POST /neighbors", s.handleNeighborsPost)
+	mux.HandleFunc("POST /batch/neighbors", s.handleNeighborsBinary)
 	mux.HandleFunc("GET /hasedge", s.handleHasEdge)
 	mux.HandleFunc("GET /pagerank", s.handlePageRank)
 	mux.HandleFunc("POST /update", s.handleUpdate)
+	if s.shard != nil {
+		mux.HandleFunc("GET /shardinfo", s.handleShardInfo)
+	}
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
@@ -357,6 +408,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			stats["nodes"] = s.n
 		}
 	}
+	if s.shard != nil {
+		stats["shard_role"] = s.shard
+	}
 	if s.artFormat != "" {
 		artifact := map[string]any{"format": s.artFormat}
 		if s.artMappedBytes > 0 {
@@ -389,13 +443,15 @@ type NeighborsResult struct {
 
 func (s *Server) answerNeighbors(w http.ResponseWriter, vs []int32, single bool) {
 	results := make([]NeighborsResult, 0, len(vs))
-	s.view().NeighborsBatch(vs, func(v int32, nbrs []int32) {
+	view := s.view()
+	view.NeighborsBatch(vs, func(v int32, nbrs []int32) {
 		results = append(results, NeighborsResult{
 			V:         v,
 			Degree:    len(nbrs),
 			Neighbors: append([]int32{}, nbrs...),
 		})
 	})
+	s.setVersionHeader(w, view)
 	if single && len(results) == 1 {
 		writeJSON(w, http.StatusOK, results[0])
 		s.markFirstQuery()
@@ -465,8 +521,67 @@ func (s *Server) handleHasEdge(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": s.view().HasEdge(u, v)})
+	view := s.view()
+	s.setVersionHeader(w, view)
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": view.HasEdge(u, v)})
 	s.markFirstQuery()
+}
+
+// handleNeighborsBinary is the compact binary batch form (wire.go) —
+// the federation fan-out hot path: no JSON encode or decode on either
+// side, one contiguous buffer per direction.
+func (s *Server) handleNeighborsBinary(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	ids, err := DecodeNeighborsRequest(data, maxBatchItems)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for _, v := range ids {
+		if err := s.checkVertex(int64(v)); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	view := s.view()
+	buf := AppendNeighborsResponseHeader(make([]byte, 0, 16+8*len(ids)), len(ids))
+	view.NeighborsBatch(ids, func(_ int32, nbrs []int32) {
+		buf = AppendNeighborsResponseList(buf, nbrs)
+	})
+	s.setVersionHeader(w, view)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf)
+	s.markFirstQuery()
+}
+
+// handleShardInfo reports the shard identity of a NewShard server.
+func (s *Server) handleShardInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.shard)
+}
+
+// setVersionHeader reports the snapshot's content version on query
+// responses when one is known (mutable overlays and versioned sharded
+// federations), so clients can correlate answers across updates and
+// across coordinator/shard hops.
+func (s *Server) setVersionHeader(w http.ResponseWriter, view View) {
+	ver := view.Version()
+	if s.shard != nil {
+		// A shard server's view is a frozen overlay (version 0); its
+		// content version is the one the federation split recorded.
+		ver = s.shard.Version
+	}
+	if ver > 0 {
+		w.Header().Set("X-Summary-Version", strconv.FormatUint(ver, 10))
+	}
 }
 
 // UpdateItem is one edge mutation of the /update request body.
@@ -569,7 +684,7 @@ const maxPRCacheEntries = 32
 // never blocks hits on other keys; concurrent first requests for one
 // key may compute it more than once, which is benign (identical
 // results, bounded work).
-func (s *Server) pageRank(view View, d float64, t int) []float64 {
+func (s *Server) pageRank(view View, d float64, t int) ([]float64, error) {
 	key := prKey{d: d, t: t}
 	s.mu.Lock()
 	// Advance strictly monotonically: a slow request holding an older
@@ -582,11 +697,14 @@ func (s *Server) pageRank(view View, d float64, t int) []float64 {
 	if s.prVersion == view.Version() {
 		if r, ok := s.prCache[key]; ok {
 			s.mu.Unlock()
-			return r
+			return r, nil
 		}
 	}
 	s.mu.Unlock()
-	src, release := newSource(view)
+	src, release, err := newSource(view)
+	if err != nil {
+		return nil, err
+	}
 	r := algos.PageRank(src, d, t)
 	release()
 	s.mu.Lock()
@@ -602,7 +720,7 @@ func (s *Server) pageRank(view View, d float64, t int) []float64 {
 		s.prCache[key] = r
 	}
 	s.mu.Unlock()
-	return r
+	return r, nil
 }
 
 func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
@@ -637,7 +755,14 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 		}
 		top = parsed
 	}
-	rank := s.pageRank(s.view(), d, t)
+	view := s.view()
+	rank, err := s.pageRank(view, d, t)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.setVersionHeader(w, view)
 	ranked := make([]RankedVertex, len(rank))
 	for v, rr := range rank {
 		ranked[v] = RankedVertex{V: int32(v), Rank: rr}

@@ -137,6 +137,12 @@ func (a *Sharded) Queryable() (*model.ShardedCompiled, error) {
 			shards[s] = cs
 		}
 		a.compiled, a.compileErr = model.NewShardedCompiled(shards, a.GlobalID, a.Boundary)
+		if a.compileErr == nil {
+			// Stamp the content version derived from the federation epoch,
+			// so the in-process engine and a network federation of the same
+			// build report the same X-Summary-Version.
+			a.compiled.SetVersion(EpochVersion(a.Epoch()))
+		}
 	})
 	return a.compiled, a.compileErr
 }
@@ -338,6 +344,8 @@ func artifactNodes(a Artifact) int {
 		return t.Summary.N
 	case *Flat:
 		return t.Summary.N
+	case *Mapped:
+		return t.cs.NumNodes()
 	}
 	return -1
 }

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_7.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_8.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -20,10 +20,12 @@
 #                   side, so this bounds total fsync count)
 #   BENCHTIME_BOOT  go-test benchtime for the startup-latency pair
 #                   (default 10x; each op is a full boot-to-first-query)
+#   BENCHTIME_FED   go-test benchtime for the network-federation pairs
+#                   (default 30x; each federated op crosses loopback HTTP)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_7.json}
+OUT=${1:-BENCH_8.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
@@ -32,6 +34,7 @@ UPDATE=${BENCHTIME_UPDATE:-200x}
 SHARD=${BENCHTIME_SHARD:-3x}
 WAL=${BENCHTIME_WAL:-2000x}
 BOOT=${BENCHTIME_BOOT:-10x}
+FED=${BENCHTIME_FED:-30x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -77,6 +80,10 @@ echo "== startup latency: v1 decode+compile vs v2 mmap-first-query (benchtime=$B
 go test -run '^$' -bench 'BenchmarkBootDecodeCompile$|BenchmarkBootMmapFirstQuery$' -benchmem \
   -benchtime "$BOOT" -timeout 30m ./pkg/slug | tee "$TMP/boot.txt"
 
+echo "== network federation: scatter-gather vs in-process twin (benchtime=$FED) =="
+go test -run '^$' -bench 'BenchmarkFederated' -benchmem \
+  -benchtime "$FED" -timeout 20m ./internal/fed | tee "$TMP/fed.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -85,7 +92,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt", "boot.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt", "boot.txt", "fed.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -145,7 +152,21 @@ doc = {
              "v2 zero-copy mmap path respectively, over Barabasi-Albert "
              "graphs of 2k/10k/50k nodes; the v2 side must answer without "
              "decoding or recompiling, visible as a flat, near-zero "
-             "allocs/op."),
+             "allocs/op. BenchmarkFederatedNeighborsOf vs "
+             "BenchmarkFederatedNeighborsOfInProcess and "
+             "BenchmarkFederatedPageRank vs "
+             "BenchmarkFederatedPageRankInProcess quantify the network-"
+             "federation tax (PR-8): the federated side runs the identical "
+             "query through the coordinator's scatter-gather client against "
+             "3 loopback shard servers (HTTP, binary wire codec, breaker "
+             "bookkeeping), the in-process twin through a function call on "
+             "the same sharded build. Answers are bit-identical by "
+             "construction; only latency may differ. One neighbors op is a "
+             "64-vertex shard-local batch; the PageRank pair both recompute "
+             "the power iteration per op (the federated side gathers the "
+             "adjacency over the network once and iterates locally, so it "
+             "can legitimately beat the in-process twin, which re-decodes "
+             "neighbor lists from the compressed model every iteration)."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
