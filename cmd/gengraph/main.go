@@ -64,16 +64,22 @@ func main() {
 	}
 
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
 		w = f
 	}
 	if err := graph.WriteEdgeList(w, g); err != nil {
 		log.Fatal(err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			log.Fatalf("closing %s: %v", *out, err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 }

@@ -212,7 +212,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("mapping artifact: %v", err)
 		}
-		defer m.Close()
+		defer func() {
+			if err := m.Close(); err != nil {
+				log.Printf("closing mapped artifact: %v", err)
+			}
+		}()
 		fmt.Printf("mapped %s: %d bytes, algorithm %s (%s)\n",
 			*summary, m.MappedBytes(), m.Algorithm(), m.Format())
 		art = m
@@ -315,7 +319,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("making artifact updatable: %v", err)
 		}
-		defer up.Close()
+		defer func() {
+			if err := up.Close(); err != nil {
+				log.Printf("closing updatable summary (WAL flush): %v", err)
+			}
+		}()
 		cs, err := up.Queryable()
 		if err != nil {
 			log.Fatalf("compiling artifact: %v", err)

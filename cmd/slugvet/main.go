@@ -1,0 +1,103 @@
+// Command slugvet runs the repo's own static-analysis suite: custom
+// analyzers that enforce invariants no compiler checks — pooled
+// query-context pairing, copy-on-write snapshot immutability, fail-stop
+// durability error handling, confined unsafe, byte-deterministic
+// serialization, and deadline-bearing outbound requests. See
+// internal/analysis/* for what each analyzer enforces and why.
+//
+// Usage:
+//
+//	slugvet [-list] [-tests] [-only name[,name]] [packages]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is 1 when any finding is reported, so CI can gate on it:
+//
+//	go run ./cmd/slugvet ./...
+//
+// Findings are suppressed line-by-line with a trailing
+// "//slugvet:ok <analyzer> (reason)" comment; the unsafeconfine and
+// snapshotmut analyzers additionally honor the //slugvet:unsafe and
+// //slugvet:cow declaration annotations (see their package docs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checkers"
+	"repro/internal/analysis/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := checkers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				sel = append(sel, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			unknown := make([]string, 0, len(keep))
+			for n := range keep {
+				unknown = append(unknown, n)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "slugvet: unknown analyzer(s) %s (use -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		suite = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load(driver.Config{Tests: *tests}, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slugvet: %v\n", err)
+		os.Exit(2)
+	}
+	badTypes := false
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "slugvet: %s: %v\n", p.ImportPath, terr)
+			badTypes = true
+		}
+	}
+	if badTypes {
+		os.Exit(2)
+	}
+	findings, err := driver.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "slugvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "slugvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -110,7 +110,16 @@ func main() {
 
 	base := "http://" + ln.Addr().String()
 	for _, path := range []string{"/stats", "/neighbors?v=0", "/hasedge?u=0&v=1"} {
-		resp, err := http.Get(base + path)
+		// Every outbound request carries a deadline (the federation
+		// invariant slugvet's ctxdeadline analyzer enforces repo-wide).
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			cancel()
+			log.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}

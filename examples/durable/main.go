@@ -99,7 +99,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer recovered.Close()
+	defer func() {
+		if err := recovered.Close(); err != nil {
+			log.Printf("closing recovered updatable (WAL flush): %v", err)
+		}
+	}()
 	rds := recovered.Durability()
 	fmt.Printf("recovered: checkpoint=%v, replayed %d update batches\n",
 		rds.RecoveredCheckpoint, rds.RecoveredRecords)
@@ -144,7 +148,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer mapped.Close()
+	defer func() {
+		if err := mapped.Close(); err != nil {
+			log.Printf("closing mapped artifact: %v", err)
+		}
+	}()
 	cs, err := mapped.Queryable() // free: the arrays are the file's bytes
 	if err != nil {
 		log.Fatal(err)

@@ -74,8 +74,26 @@ func (p *shardServer) restart() error {
 	return nil
 }
 
+// getWithTimeout issues a GET whose context expires after d — every
+// outbound request in the federation carries a deadline.
+func getWithTimeout(url string, d time.Duration) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(req)
+}
+
 func getJSON(url string, out any) error {
-	resp, err := http.Get(url)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}
@@ -243,7 +261,7 @@ func main() {
 	fmt.Printf("  neighbors(%d) [shard 0]: still answers, degree %d\n", survivor, nr.Degree)
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if resp, err := http.Get(base + "/readyz"); err == nil {
+		if resp, err := getWithTimeout(base+"/readyz", time.Second); err == nil {
 			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusServiceUnavailable {

@@ -55,7 +55,10 @@ func main() {
 			r.name, r.cost, float64(r.cost)/float64(g.NumEdges()),
 			r.elapsed.Round(time.Millisecond))
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flushing table: %v\n", err)
+		os.Exit(1)
+	}
 
 	best := results[0]
 	for _, r := range results[1:] {

@@ -40,6 +40,7 @@ func (c *CompiledSource) Release() {
 // decompresses the model around the queried vertex (Algorithm 4)
 // through a pooled query context held until Release.
 func OnCompiled(cs *model.CompiledSummary) *CompiledSource {
+	//slugvet:ok poolpair (acquire wrapper: the Source owns the context for one traversal; callers pair OnCompiled with Source.Release)
 	return &CompiledSource{cs: cs, ctx: cs.AcquireCtx()}
 }
 
@@ -80,6 +81,7 @@ func (s *LiveSource) Release() {
 // DeltaOverlay): every Neighbors call runs the base partial
 // decompression and merges the overlay's corrections.
 func OnView(view *model.DeltaOverlay) *LiveSource {
+	//slugvet:ok poolpair (acquire wrapper: the Source owns the context for one traversal; callers pair OnView with Source.Release)
 	return &LiveSource{view: view, ctx: view.AcquireCtx()}
 }
 
@@ -114,5 +116,6 @@ func (s *ShardedSource) Release() {
 // adjacency, so graph algorithms (PageRank, BFS, ...) run on the
 // federated view exactly as they would on a single compiled summary.
 func OnSharded(sc *model.ShardedCompiled) *ShardedSource {
+	//slugvet:ok poolpair (acquire wrapper: the Source owns the context for one traversal; callers pair OnSharded with Source.Release)
 	return &ShardedSource{sc: sc, ctx: sc.AcquireCtx()}
 }

@@ -1,0 +1,120 @@
+// Package analysistest runs one slugvet analyzer over compilable
+// fixture packages and checks its diagnostics against expectations
+// written in the fixtures themselves, in the style of
+// golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// on a line declares that the analyzer must report on that line with a
+// message matching each regexp. Lines without a want comment must
+// produce no diagnostics. Fixtures live under testdata/src/<pkg> next
+// to the analyzer (real packages the go tool can build — `./...`
+// wildcards skip testdata directories, so deliberate violations don't
+// leak into the repo's own vet/build surface).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// Run loads testdata/src/<pkg> for each named package (relative to the
+// calling test's directory) and verifies analyzer a's diagnostics match
+// the fixtures' want comments exactly.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, pkg)
+		})
+	}
+}
+
+var wantRE = regexp.MustCompile("(?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+func runOne(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	pkgs, err := driver.Load(driver.Config{Dir: "."}, "./"+filepath.ToSlash(filepath.Join("testdata", "src", pkg)))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", pkg, len(pkgs))
+	}
+	p := pkgs[0]
+	for _, terr := range p.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", pkg, terr)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range p.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				_, rest, ok := strings.Cut(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+				if len(wants[k]) == 0 {
+					t.Fatalf("%s:%d: want comment with no pattern", pos.Filename, pos.Line)
+				}
+			}
+		}
+	}
+
+	findings, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, pkg, err)
+	}
+
+	matched := make(map[string]int) // "file:line" -> diagnostics matched there
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		res := wants[k]
+		if len(res) == 0 {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+			continue
+		}
+		idx := -1
+		for i, re := range res {
+			if re.MatchString(f.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s:%d: diagnostic %q matches no want pattern on that line", f.Pos.Filename, f.Pos.Line, f.Message)
+			continue
+		}
+		wants[k] = append(res[:idx:idx], res[idx+1:]...)
+		matched[fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)]++
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}

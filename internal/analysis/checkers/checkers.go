@@ -1,0 +1,25 @@
+// Package checkers assembles the full slugvet analyzer suite: the
+// repo-specific invariant checkers CI runs over every package.
+package checkers
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxdeadline"
+	"repro/internal/analysis/detorder"
+	"repro/internal/analysis/poolpair"
+	"repro/internal/analysis/snapshotmut"
+	"repro/internal/analysis/syncerr"
+	"repro/internal/analysis/unsafeconfine"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxdeadline.Analyzer,
+		detorder.Analyzer,
+		poolpair.Analyzer,
+		snapshotmut.Analyzer,
+		syncerr.Analyzer,
+		unsafeconfine.Analyzer,
+	}
+}

@@ -1,0 +1,82 @@
+// Package ctxdeadline enforces the federation invariant from PR 8:
+// every outbound HTTP request must carry a deadline-bearing context, so
+// a hung peer can never wedge a coordinator goroutine. It flags
+//
+//   - http.NewRequest (no context at all — use NewRequestWithContext),
+//   - the convenience helpers http.Get/Head/Post/PostForm and their
+//     (*http.Client) method forms (no per-request deadline), and
+//   - http.NewRequestWithContext whose context argument is literally
+//     context.Background() or context.TODO() (a context that can never
+//     expire).
+//
+// Passing a ctx parameter through is accepted: the analyzer cannot
+// prove a deadline on an arbitrary context, so the rule is that raw
+// never-expiring contexts must not be minted at the request site.
+package ctxdeadline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "outbound HTTP requests must be built with NewRequestWithContext and a deadline-bearing context",
+	Run:  run,
+}
+
+var clientHelpers = map[string]bool{"Get": true, "Head": true, "Post": true, "PostForm": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case analysis.IsPkgFunc(info, call, "net/http", "NewRequest"):
+				pass.Reportf(call.Pos(), "http.NewRequest builds a request without a context: use http.NewRequestWithContext with a deadline-bearing context")
+			case analysis.IsPkgFunc(info, call, "net/http", "NewRequestWithContext"):
+				if len(call.Args) > 0 {
+					if name := bareContext(info, call.Args[0]); name != "" {
+						pass.Reportf(call.Args[0].Pos(), "request context is context.%s(), which never expires: derive it with context.WithTimeout or context.WithDeadline", name)
+					}
+				}
+			default:
+				name := analysis.CalleeName(call)
+				if !clientHelpers[name] {
+					return true
+				}
+				if analysis.IsPkgFunc(info, call, "net/http", name) {
+					pass.Reportf(call.Pos(), "http.%s sends a request with no deadline: use http.NewRequestWithContext and Client.Do", name)
+					return true
+				}
+				if recv := analysis.ReceiverNamed(info, call); recv != nil &&
+					recv.Obj().Name() == "Client" && recv.Obj().Pkg() != nil && recv.Obj().Pkg().Path() == "net/http" {
+					pass.Reportf(call.Pos(), "(*http.Client).%s sends a request with no per-request deadline: use http.NewRequestWithContext and Client.Do", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// bareContext returns "Background" or "TODO" when e is a direct call
+// to the corresponding context constructor, and "" otherwise.
+func bareContext(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	for _, name := range []string{"Background", "TODO"} {
+		if analysis.IsPkgFunc(info, call, "context", name) {
+			return name
+		}
+	}
+	return ""
+}

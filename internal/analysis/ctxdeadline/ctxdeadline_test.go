@@ -1,0 +1,12 @@
+package ctxdeadline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxdeadline"
+)
+
+func TestCtxdeadline(t *testing.T) {
+	analysistest.Run(t, ctxdeadline.Analyzer, "a")
+}

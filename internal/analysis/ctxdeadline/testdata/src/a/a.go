@@ -1,0 +1,41 @@
+// Package a exercises the ctxdeadline analyzer: every outbound HTTP
+// request must be built with a deadline-bearing context.
+package a
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+func violations(c *http.Client) {
+	http.NewRequest(http.MethodGet, "http://peer", nil)                                  // want `http\.NewRequest builds a request without a context`
+	http.NewRequestWithContext(context.Background(), http.MethodGet, "http://peer", nil) // want `request context is context\.Background\(\), which never expires`
+	http.NewRequestWithContext(context.TODO(), http.MethodGet, "http://peer", nil)       // want `request context is context\.TODO\(\), which never expires`
+	http.Get("http://peer")                                                              // want `http\.Get sends a request with no deadline`
+	http.Head("http://peer")                                                             // want `http\.Head sends a request with no deadline`
+	http.Post("http://peer", "text/plain", strings.NewReader("hi"))                      // want `http\.Post sends a request with no deadline`
+	http.PostForm("http://peer", url.Values{})                                           // want `http\.PostForm sends a request with no deadline`
+	c.Get("http://peer")                                                                 // want `\(\*http\.Client\)\.Get sends a request with no per-request deadline`
+}
+
+func conforming(ctx context.Context, c *http.Client) error {
+	tctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, "http://peer", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close() // not ctxdeadline's concern (syncerr territory)
+
+	// A caller-supplied context is accepted: the deadline obligation
+	// belongs to whoever minted it.
+	_, err = http.NewRequestWithContext(ctx, http.MethodGet, "http://peer", nil)
+	return err
+}

@@ -1,0 +1,159 @@
+// Package detorder enforces byte-determinism of serialized artifacts
+// (PR 1/3): identical inputs must produce identical artifact bytes, so
+// Go's randomized map iteration order must never reach a serializer or
+// hasher. The analyzer flags, inside any `range` over a map:
+//
+//   - direct calls to serialization sinks (Write*/Encode*/Marshal*/
+//     Sum*/Fprint* methods and functions) — bytes emitted in map order;
+//   - appends to a slice declared outside the loop that later flows
+//     into a sink without an intervening sort (sort.* or slices.Sort*
+//     call mentioning the slice).
+//
+// The conforming shape is: collect keys, sort them, then range over the
+// sorted slice.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc:  "map iteration order must not feed serializers or hashers (byte-determinism invariant)",
+	Run:  run,
+}
+
+// sinkNames identify calls that emit or digest bytes in argument order.
+var sinkNames = map[string]bool{
+	"Write": true, "WriteTo": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeTo": true, "Marshal": true, "MarshalBinary": true,
+	"Sum": true, "Sum32": true, "Sum64": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// sortPkgs are packages any call into which (mentioning the slice)
+// counts as establishing a deterministic order.
+var sortPkgs = map[string]bool{"sort": true, "slices": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var mapRanges []*ast.RangeStmt
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if tv, ok := info.Types[r.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mapRanges = append(mapRanges, r)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, r := range mapRanges {
+		// Sinks called directly inside the map-ordered loop body.
+		appended := make(map[types.Object]bool)
+		ast.Inspect(r.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.CallExpr:
+				if name := analysis.CalleeName(s); sinkNames[name] {
+					pass.Reportf(s.Pos(), "%s called inside a range over a map: output follows randomized map order; collect and sort keys, then emit (byte-determinism invariant)", name)
+				}
+			case *ast.AssignStmt:
+				// s = append(s, ...) where s outlives the loop.
+				for i, rhs := range s.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(info, call) || i >= len(s.Lhs) {
+						continue
+					}
+					if id, ok := s.Lhs[i].(*ast.Ident); ok {
+						if obj := info.ObjectOf(id); obj != nil && obj.Pos() < r.Pos() {
+							appended[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if len(appended) == 0 {
+			continue
+		}
+		// After the loop: does an appended slice reach a sink before
+		// being sorted?
+		sorted := make(map[types.Object]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < r.End() {
+				return true
+			}
+			mentions := mentioned(info, call, appended)
+			switch {
+			case isSortCall(info, call):
+				for obj := range mentions {
+					sorted[obj] = true
+				}
+			case sinkNames[analysis.CalleeName(call)]:
+				for obj := range mentions {
+					if !sorted[obj] {
+						pass.Reportf(call.Pos(), "%s collects entries in map order and reaches %s unsorted: sort it first (byte-determinism invariant)",
+							obj.Name(), analysis.CalleeName(call))
+						delete(appended, obj) // one report per slice
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isSortCall reports whether the call is into package sort or slices.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := info.Uses[id].(*types.PkgName)
+	return ok && sortPkgs[pkg.Imported().Path()]
+}
+
+// mentioned returns the subset of objs referenced anywhere in the call.
+func mentioned(info *types.Info, call *ast.CallExpr, objs map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && objs[obj] {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

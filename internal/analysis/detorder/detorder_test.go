@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detorder"
+)
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, detorder.Analyzer, "a")
+}

@@ -1,0 +1,45 @@
+// Package a exercises the detorder analyzer: randomized map iteration
+// order must never reach a serializer or hasher.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func sinkInLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf called inside a range over a map`
+	}
+}
+
+func unsortedFlow(buf *bytes.Buffer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	buf.WriteString(strings.Join(keys, "\n")) // want `keys collects entries in map order and reaches WriteString unsorted`
+}
+
+func sortedFlow(buf *bytes.Buffer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf.WriteString(strings.Join(keys, "\n"))
+	for _, k := range keys {
+		fmt.Fprintf(buf, "%s=%d\n", k, m[k]) // slice range: emission follows the sorted order
+	}
+}
+
+func nonSinkLoop(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-independent aggregation is fine
+	}
+	return total
+}

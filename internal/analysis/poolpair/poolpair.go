@@ -1,0 +1,219 @@
+// Package poolpair enforces the pooled query-context discipline from
+// PR 2/5: a context borrowed with AcquireCtx must be returned with
+// ReleaseCtx in the same function, must not escape into struct fields,
+// channels, returns, or goroutines (a retained pooled pointer is a data
+// race once the pool recycles it), and must not be used after a
+// release. Functions named Acquire*/Release* are exempt — they are the
+// pool wrappers themselves; an intentional retention (a pooled object
+// owning pooled sub-objects) is suppressed with //slugvet:ok poolpair.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "every AcquireCtx has a same-function ReleaseCtx; pooled contexts neither escape nor outlive their release",
+	Run:  run,
+}
+
+const (
+	acquireName = "AcquireCtx"
+	releaseName = "ReleaseCtx"
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "Acquire") || strings.HasPrefix(fd.Name.Name, "Release") {
+				continue // pool wrapper implementation
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+type acquisition struct {
+	call *ast.CallExpr
+	obj  types.Object // local the context is bound to; nil if unbound
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var acqs []*acquisition
+
+	// Pass 1: find acquisitions and how their results are bound.
+	analysis.InspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || analysis.CalleeName(call) != acquireName || analysis.ReceiverNamed(info, call) == nil {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		switch p := parent.(type) {
+		case *ast.AssignStmt:
+			if len(p.Rhs) == 1 && ast.Unparen(p.Rhs[0]) == call && len(p.Lhs) == 1 {
+				if id, ok := p.Lhs[0].(*ast.Ident); ok {
+					if id.Name == "_" {
+						pass.Reportf(call.Pos(), "acquired context is discarded: the pooled object leaks for this pool generation")
+						return true
+					}
+					acqs = append(acqs, &acquisition{call: call, obj: info.ObjectOf(id)})
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "result of %s escapes through a compound assignment: bind it to a single local and release it here", acquireName)
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "acquired context is discarded: the pooled object leaks for this pool generation")
+		default:
+			pass.Reportf(call.Pos(), "result of %s is not bound to a local: pooled contexts must be acquired into a variable and released in the same function", acquireName)
+		}
+		return true
+	})
+
+	// Pass 2: per bound context, find releases, escapes, and
+	// use-after-release.
+	for _, acq := range acqs {
+		if acq.obj == nil {
+			continue
+		}
+		checkLifetime(pass, fd, acq)
+	}
+}
+
+func checkLifetime(pass *analysis.Pass, fd *ast.FuncDecl, acq *acquisition) {
+	info := pass.TypesInfo
+	obj := acq.obj
+
+	var (
+		released        bool
+		topLevelRelease *ast.CallExpr // direct (non-deferred) release in the function's top-level block
+	)
+	isRelease := func(call *ast.CallExpr) bool {
+		if analysis.CalleeName(call) != releaseName {
+			return false
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && info.ObjectOf(id) == obj {
+				return true
+			}
+		}
+		return false
+	}
+
+	analysis.InspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRelease(call) {
+			return true
+		}
+		released = true
+		// Track direct releases sitting in the function's top block so
+		// the use-after-release check stays loop- and branch-safe.
+		if len(stack) >= 2 {
+			if _, inDefer := stack[len(stack)-1].(*ast.DeferStmt); inDefer {
+				return true
+			}
+			if _, ok := stack[len(stack)-1].(*ast.ExprStmt); ok {
+				if blk, ok := stack[len(stack)-2].(*ast.BlockStmt); ok && blk == fd.Body {
+					topLevelRelease = call
+				}
+			}
+		}
+		return true
+	})
+
+	if !released {
+		pass.Reportf(acq.call.Pos(), "context acquired here is never released: add defer %s or release it on every path", releaseName)
+	}
+
+	// Escapes and use-after-release.
+	analysis.InspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj || id.Pos() <= acq.call.End() {
+			return true
+		}
+		if esc := escapeKind(stack, id); esc != "" {
+			pass.Reportf(id.Pos(), "pooled context %s escapes (%s): a retained pooled pointer races with its next borrower", obj.Name(), esc)
+			return true
+		}
+		if topLevelRelease != nil && id.Pos() > topLevelRelease.End() && !within(id.Pos(), topLevelRelease) {
+			pass.Reportf(id.Pos(), "use of %s after %s: the context may already be handed to another goroutine", obj.Name(), releaseName)
+		}
+		return true
+	})
+}
+
+// escapeKind classifies a use of the pooled context that retains it
+// beyond the acquiring call frame. The immediate parent decides value
+// escapes (stores, sends, returns, literals); the ancestor chain
+// decides closure captures — deferred closures run before return and
+// are the expected release pattern, goroutine closures outlive it.
+func escapeKind(stack []ast.Node, id *ast.Ident) string {
+	if len(stack) == 0 {
+		return ""
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) != ast.Expr(id) {
+				continue
+			}
+			j := i
+			if len(p.Lhs) != len(p.Rhs) {
+				j = 0
+			}
+			switch ast.Unparen(p.Lhs[j]).(type) {
+			case *ast.SelectorExpr:
+				return "stored in a struct field"
+			case *ast.IndexExpr:
+				return "stored in a map or slice"
+			case *ast.StarExpr:
+				return "stored through a pointer"
+			}
+		}
+	case *ast.CompositeLit:
+		return "embedded in a composite literal"
+	case *ast.KeyValueExpr:
+		if p.Value == ast.Expr(id) {
+			return "embedded in a composite literal"
+		}
+	case *ast.SendStmt:
+		if p.Value == ast.Expr(id) {
+			return "sent on a channel"
+		}
+	case *ast.ReturnStmt:
+		return "returned to the caller"
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); !ok {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			switch stack[j].(type) {
+			case *ast.GoStmt:
+				return "captured by a goroutine"
+			case *ast.DeferStmt, *ast.FuncDecl:
+				return ""
+			}
+		}
+		return "" // closure assigned locally: called, not retained
+	}
+	return ""
+}
+
+func within(pos token.Pos, n ast.Node) bool {
+	return n.Pos() <= pos && pos <= n.End()
+}

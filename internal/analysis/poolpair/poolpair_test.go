@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	analysistest.Run(t, poolpair.Analyzer, "a")
+}

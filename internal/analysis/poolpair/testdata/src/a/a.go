@@ -1,0 +1,86 @@
+// Package a exercises the poolpair analyzer: every AcquireCtx pairs
+// with a same-function ReleaseCtx, pooled contexts neither escape nor
+// outlive their release.
+package a
+
+// Ctx is a pooled query context.
+type Ctx struct{ buf []int32 }
+
+// Pool hands out contexts.
+type Pool struct{ free []*Ctx }
+
+func (p *Pool) AcquireCtx() *Ctx { return &Ctx{} }
+
+func (p *Pool) ReleaseCtx(c *Ctx) {}
+
+type holder struct{ c *Ctx }
+
+func neverReleased(p *Pool) int {
+	c := p.AcquireCtx() // want `context acquired here is never released`
+	return len(c.buf)
+}
+
+func discarded(p *Pool) {
+	p.AcquireCtx()     // want `acquired context is discarded`
+	_ = p.AcquireCtx() // want `acquired context is discarded`
+}
+
+func compound(p *Pool) (*Ctx, *Ctx) {
+	a, b := p.AcquireCtx(), p.AcquireCtx() // want `escapes through a compound assignment` `escapes through a compound assignment`
+	return a, b
+}
+
+func fieldEscape(p *Pool, h *holder) {
+	c := p.AcquireCtx()
+	h.c = c // want `pooled context c escapes \(stored in a struct field\)`
+	p.ReleaseCtx(c)
+}
+
+func goroutineEscape(p *Pool) {
+	c := p.AcquireCtx()
+	go func() {
+		_ = c.buf // want `pooled context c escapes \(captured by a goroutine\)`
+	}()
+	p.ReleaseCtx(c)
+}
+
+func returned(p *Pool) *Ctx {
+	c := p.AcquireCtx() // want `context acquired here is never released`
+	return c            // want `pooled context c escapes \(returned to the caller\)`
+}
+
+func useAfterRelease(p *Pool) int {
+	c := p.AcquireCtx()
+	n := len(c.buf)
+	p.ReleaseCtx(c)
+	return n + len(c.buf) // want `use of c after ReleaseCtx`
+}
+
+func conforming(p *Pool) int {
+	c := p.AcquireCtx()
+	defer p.ReleaseCtx(c)
+	return len(c.buf)
+}
+
+func deferredClosure(p *Pool) int {
+	c := p.AcquireCtx()
+	defer func() { p.ReleaseCtx(c) }()
+	return len(c.buf)
+}
+
+type source struct{ c *Ctx }
+
+// newSource mirrors the algos adapters: the source owns the context and
+// callers pair newSource with source.release, so the intentional
+// retention is suppressed.
+func newSource(p *Pool) *source {
+	//slugvet:ok poolpair (acquire wrapper: the source owns the context until release)
+	return &source{c: p.AcquireCtx()}
+}
+
+func (s *source) release(p *Pool) {
+	if s.c != nil {
+		p.ReleaseCtx(s.c)
+		s.c = nil
+	}
+}

@@ -1,0 +1,219 @@
+// Package snapshotmut enforces the copy-on-write snapshot invariant
+// from PR 4: once a value is published through an atomic.Pointer.Store
+// (or reachable from a published snapshot), it is immutable — writers
+// build a fresh value and swap it in; they never mutate in place, which
+// would race with the lock-free readers holding the old pointer.
+//
+// A type is "published" when the package declares a variable or field
+// of type sync/atomic.Pointer[T] (T is then snapshot-published), or
+// when it is named in ExtraPublished (types reachable from snapshots
+// but not directly behind an atomic pointer, like the compiled CSR base
+// a snapshot wraps). Writes to fields of a published type are allowed
+// only when
+//
+//   - the written value was freshly constructed in the same function
+//     (&T{...}, T{...}, or new(T) bound to the local being written) —
+//     the not-yet-published copy a constructor is filling in — or
+//   - the enclosing function carries a "//slugvet:cow" doc-comment
+//     line declaring it a copy-on-write constructor whose result is
+//     only published afterwards.
+package snapshotmut
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotmut",
+	Doc:  "values published via atomic.Pointer snapshots are immutable outside copy-on-write constructors",
+	Run:  run,
+}
+
+// ExtraPublished lists types (as "pkgpath.TypeName") that are published
+// snapshot state even though no atomic.Pointer[T] field names them
+// directly: they are reachable from every published snapshot.
+var ExtraPublished = map[string]bool{
+	"repro/internal/model.CompiledSummary": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	published := publishedTypes(pass)
+	if len(published) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if _, cow := analysis.DirectiveAnnotated(fd.Doc, "cow"); cow {
+				continue
+			}
+			checkFunc(pass, fd, published)
+		}
+	}
+	return nil, nil
+}
+
+// publishedTypes collects every named type T for which the package
+// declares a var or field of type atomic.Pointer[T], plus the
+// ExtraPublished set resolved against this package's imports.
+func publishedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	mark := func(t types.Type) {
+		if n := analysis.NamedOf(t); n != nil {
+			out[n.Obj()] = true
+		}
+	}
+	for _, obj := range pass.TypesInfo.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok {
+			continue
+		}
+		n, ok := types.Unalias(v.Type()).(*types.Named)
+		if !ok || n.Obj().Name() != "Pointer" || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync/atomic" {
+			continue
+		}
+		if args := n.TypeArgs(); args != nil && args.Len() == 1 {
+			mark(args.At(0))
+		}
+	}
+	// Resolve ExtraPublished against every named type mentioned in the
+	// package (its own scope and its imports').
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, sc := range scopes {
+		for _, name := range sc.Names() {
+			if tn, ok := sc.Lookup(name).(*types.TypeName); ok {
+				if tn.Pkg() != nil && ExtraPublished[tn.Pkg().Path()+"."+tn.Name()] {
+					out[tn] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, published map[*types.TypeName]bool) {
+	info := pass.TypesInfo
+
+	// Locals bound to values constructed in this function: writes into
+	// them are a constructor filling in an unpublished copy.
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if isFreshValue(info, as.Rhs[i]) {
+				if obj := info.ObjectOf(id); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	checkWrite := func(target ast.Expr, verb string) {
+		tn, base := publishedBase(info, target, published)
+		if tn == nil {
+			return
+		}
+		if id, ok := base.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && fresh[obj] {
+				return
+			}
+		}
+		pass.Reportf(target.Pos(), "%s %s state outside a copy-on-write constructor: published snapshots are immutable — build a fresh value and swap it in, or annotate the constructor //slugvet:cow", verb, tn.Name())
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(lhs, "write to")
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X, "write to")
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "delete" || b.Name() == "clear") && len(s.Args) > 0 {
+					checkWrite(s.Args[0], b.Name()+" on")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFreshValue reports whether e constructs a new value: &T{...},
+// T{...}, or new(T).
+func isFreshValue(info *types.Info, e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		_, ok := ast.Unparen(v.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+			b, ok := info.Uses[id].(*types.Builtin)
+			return ok && b.Name() == "new"
+		}
+	}
+	return false
+}
+
+// publishedBase walks a write target (x.f, x.f[i], x.a.b, (*p).f) and,
+// if any step dereferences a value of a published type, returns that
+// type and the innermost base expression the chain hangs off.
+func publishedBase(info *types.Info, target ast.Expr, published map[*types.TypeName]bool) (*types.TypeName, ast.Expr) {
+	e := ast.Unparen(target)
+	for {
+		var x ast.Expr
+		switch t := e.(type) {
+		case *ast.SelectorExpr:
+			x = t.X
+		case *ast.IndexExpr:
+			x = t.X
+		case *ast.StarExpr:
+			x = t.X
+		default:
+			return nil, nil
+		}
+		x = ast.Unparen(x)
+		if tv, ok := info.Types[x]; ok {
+			if n := analysis.NamedOf(tv.Type); n != nil && published[n.Obj()] {
+				return n.Obj(), innermost(x)
+			}
+		}
+		e = x
+	}
+}
+
+// innermost strips selector/index/star chains to the root expression.
+func innermost(e ast.Expr) ast.Expr {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return ast.Unparen(e)
+		}
+	}
+}

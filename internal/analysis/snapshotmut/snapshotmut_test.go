@@ -1,0 +1,12 @@
+package snapshotmut_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/snapshotmut"
+)
+
+func TestSnapshotmut(t *testing.T) {
+	analysistest.Run(t, snapshotmut.Analyzer, "a")
+}

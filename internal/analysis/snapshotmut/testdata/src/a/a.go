@@ -1,0 +1,51 @@
+// Package a exercises the snapshotmut analyzer: values published via
+// atomic.Pointer are immutable outside copy-on-write constructors.
+package a
+
+import "sync/atomic"
+
+// Snap is published: the package swaps it behind an atomic.Pointer.
+type Snap struct {
+	n     int
+	edges map[int][]int
+}
+
+var live atomic.Pointer[Snap]
+
+func mutateInPlace(s *Snap, k int) {
+	s.n = 1            // want `write to Snap state outside a copy-on-write constructor`
+	s.n++              // want `write to Snap state outside a copy-on-write constructor`
+	delete(s.edges, k) // want `delete on Snap state outside a copy-on-write constructor`
+	s.edges[k] = nil   // want `write to Snap state outside a copy-on-write constructor`
+}
+
+func mutateLoaded() {
+	live.Load().n = 2 // want `write to Snap state outside a copy-on-write constructor`
+}
+
+// swapIn is the approved shape: fill in a freshly constructed value,
+// then publish it.
+func swapIn(n int) {
+	fresh := &Snap{edges: make(map[int][]int)}
+	fresh.n = n
+	live.Store(fresh)
+}
+
+// cowRebuild builds the next snapshot from the current one. The clone
+// is private until the caller publishes it, but the analyzer cannot see
+// through the clone call — the annotation declares the contract.
+//
+//slugvet:cow
+func cowRebuild(prev *Snap) *Snap {
+	next := clone(prev)
+	next.n++
+	return next
+}
+
+func clone(s *Snap) *Snap {
+	out := &Snap{n: s.n, edges: make(map[int][]int, len(s.edges))}
+	for k, v := range s.edges {
+		out.edges[k] = v
+	}
+	return out
+}

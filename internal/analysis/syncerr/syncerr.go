@@ -1,0 +1,113 @@
+// Package syncerr enforces the repo's fail-stop durability invariant
+// (PR 6): error results of Close, Sync, and Flush on this module's own
+// types — the WAL, artifact writers, updatable summaries — and on the
+// write-side standard types they wrap (os.File, bufio.Writer,
+// tabwriter.Writer, gzip.Writer) must be checked and propagated, never
+// dropped on the floor or assigned to the blank identifier. A dropped
+// WAL Sync error means acknowledging an update that was never durable.
+//
+// Genuinely ignorable closes (a read-only descriptor whose close error
+// cannot corrupt anything already read) are suppressed with a trailing
+// "//slugvet:ok syncerr (reason)" comment, which keeps every discard
+// explicit and greppable.
+package syncerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "syncerr",
+	Doc:  "error results of Close/Sync/Flush on durability-relevant types must be checked and propagated",
+	Run:  run,
+}
+
+// methodNames are the durability-relevant method names checked.
+var methodNames = map[string]bool{"Close": true, "Sync": true, "Flush": true}
+
+// stdTypes are standard-library types whose Close/Sync/Flush errors
+// matter on write paths, keyed by "pkgpath.TypeName".
+var stdTypes = map[string]bool{
+	"os.File":               true,
+	"bufio.Writer":          true,
+	"text/tabwriter.Writer": true,
+	"compress/gzip.Writer":  true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	modRoot := moduleRoot(pass.Pkg.Path())
+	check := func(call *ast.CallExpr) {
+		name := analysis.CalleeName(call)
+		if !methodNames[name] || !analysis.ErrorResultOnly(pass.TypesInfo, call) {
+			return
+		}
+		recv := analysis.ReceiverNamed(pass.TypesInfo, call)
+		if recv == nil || !relevant(recv, modRoot) {
+			return
+		}
+		pass.Reportf(call.Pos(), "error result of (%s).%s is discarded: durability errors are fail-stop — check and propagate it, or annotate //slugvet:ok syncerr with a reason",
+			types.TypeString(recv, types.RelativeTo(pass.Pkg)), name)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call)
+				}
+			case *ast.DeferStmt:
+				check(s.Call)
+			case *ast.GoStmt:
+				check(s.Call)
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok || !allBlank(s.Lhs) {
+					return true
+				}
+				check(call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// relevant reports whether the receiver type is in scope: declared in
+// this module, or one of the write-side standard types.
+func relevant(n *types.Named, modRoot string) bool {
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if path == modRoot || strings.HasPrefix(path, modRoot+"/") {
+		return true
+	}
+	return stdTypes[path+"."+n.Obj().Name()]
+}
+
+// moduleRoot extracts the module path root from a package path
+// ("repro/internal/wal" -> "repro").
+func moduleRoot(pkgPath string) string {
+	if i := strings.Index(pkgPath, "/"); i >= 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}

@@ -1,0 +1,43 @@
+// Package a exercises the syncerr analyzer: error results of
+// Close/Sync/Flush on in-module and write-side standard types must be
+// checked, never discarded.
+package a
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"text/tabwriter"
+)
+
+// W is an in-module durability-relevant type (think: the WAL).
+type W struct{}
+
+func (*W) Close() error { return nil }
+
+func (*W) Sync() error { return nil }
+
+func (*W) Flush() error { return nil }
+
+// Read returns more than an error, so discarding it is not syncerr's
+// business.
+func (*W) Read(p []byte) (int, error) { return 0, nil }
+
+func violations(f *os.File, w *W, bw *bufio.Writer, tw *tabwriter.Writer) {
+	f.Close()       // want `error result of \(os\.File\)\.Close is discarded`
+	defer f.Close() // want `error result of \(os\.File\)\.Close is discarded`
+	go w.Sync()     // want `error result of \(W\)\.Sync is discarded`
+	_ = w.Close()   // want `error result of \(W\)\.Close is discarded`
+	bw.Flush()      // want `error result of \(bufio\.Writer\)\.Flush is discarded`
+	tw.Flush()      // want `error result of \(text/tabwriter\.Writer\)\.Flush is discarded`
+}
+
+func conforming(f *os.File, w *W, c io.Closer) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	w.Read(nil)     // multi-result: not a bare discarded error
+	c.Close()       // io.Closer is neither in-module nor a write-side std type
+	f.Close()       //slugvet:ok syncerr (read-only descriptor in this fixture; nothing written through it)
+	return w.Sync() // propagated
+}

@@ -1,0 +1,39 @@
+// Package a exercises the unsafeconfine analyzer: unsafe stays inside
+// annotated helpers, and even there only the vetted cast shapes pass.
+package a
+
+import "unsafe"
+
+var x int64
+
+// Compile-time unsafe is allowed anywhere, unannotated.
+var size = unsafe.Sizeof(x)
+
+func unannotated(p *int64) *byte {
+	return (*byte)(unsafe.Pointer(p)) // want `use of unsafe\.Pointer outside an allowlisted helper`
+}
+
+//slugvet:unsafe
+func emptyReason(p *int64) uintptr { // want `//slugvet:unsafe annotation needs a justification`
+	return uintptr(unsafe.Pointer(p)) // want `use of unsafe\.Pointer outside an allowlisted helper`
+}
+
+//slugvet:unsafe pointer arithmetic fixture: the annotation does not admit banned shapes
+func bannedAdd(p unsafe.Pointer) unsafe.Pointer {
+	return unsafe.Add(p, 8) // want `unsafe\.Add is outside the vetted cast shapes`
+}
+
+//slugvet:unsafe integer round-trip fixture: the annotation does not admit integer-sourced pointers
+func fromInteger(addr uintptr) *byte {
+	return (*byte)(unsafe.Pointer(addr)) // want `unsafe\.Pointer materialized from an integer`
+}
+
+//slugvet:unsafe reinterprets the address of a caller-owned int64 as its 8 constituent bytes; the size matches exactly
+func conformingSlice(v *int64) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(v)), 8)
+}
+
+//slugvet:unsafe address inspection only: the pointer becomes a uintptr for an alignment check and never comes back
+func conformingAlign(b []byte) bool {
+	return uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}

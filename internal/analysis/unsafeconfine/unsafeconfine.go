@@ -1,0 +1,155 @@
+// Package unsafeconfine confines unsafe to the validated zero-copy
+// helpers of the v2 mapped-artifact path (PR 7). The invariant: a
+// reader of arbitrary on-disk bytes must never be able to make an
+// unsafe cast index out of bounds, so every unsafe use lives in a small
+// set of declared, justified helpers whose callers gate on validation.
+//
+// Mechanically:
+//
+//   - any use of package unsafe (except the compile-time Sizeof /
+//     Alignof / Offsetof) requires the enclosing top-level declaration
+//     to carry a "//slugvet:unsafe <justification>" doc-comment line;
+//   - even inside an annotated helper only the vetted cast shapes are
+//     accepted: unsafe.Slice over a pointer derived from &x or &x[0],
+//     pointer-type reinterpretation (*T)(unsafe.Pointer(&x...)), and
+//     address inspection uintptr(unsafe.Pointer(...)) for alignment
+//     checks. Materializing a pointer from an integer, unsafe.Add
+//     arithmetic, and the unsafe string/slice-header accessors are
+//     rejected everywhere — they are exactly the shapes whose safety a
+//     reviewer cannot check locally;
+//   - //go:linkname is rejected unconditionally.
+//
+// To allowlist a new helper: give it a doc comment line
+// "//slugvet:unsafe <why the cast is sound>" and keep its casts within
+// the vetted shapes.
+package unsafeconfine
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafeconfine",
+	Doc:  "unsafe is confined to annotated mapped-artifact helpers using vetted cast shapes",
+	Run:  run,
+}
+
+// constOnly are unsafe operations evaluated at compile time; they carry
+// no memory-safety risk and are always allowed.
+var constOnly = map[string]bool{"Sizeof": true, "Alignof": true, "Offsetof": true}
+
+// bannedEverywhere are unsafe operations no annotation can admit.
+var bannedEverywhere = map[string]bool{
+	"Add": true, "String": true, "StringData": true, "SliceData": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//go:linkname") {
+					pass.Reportf(c.Pos(), "//go:linkname pierces the runtime's type safety and is not allowed in this repo")
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			checkDecl(pass, decl)
+		}
+	}
+	return nil, nil
+}
+
+func checkDecl(pass *analysis.Pass, decl ast.Decl) {
+	var doc *ast.CommentGroup
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		doc = d.Doc
+	case *ast.GenDecl:
+		doc = d.Doc
+	default:
+		return
+	}
+	reason, annotated := analysis.DirectiveAnnotated(doc, "unsafe")
+	if annotated && reason == "" {
+		pass.Reportf(decl.Pos(), "//slugvet:unsafe annotation needs a justification: say why the cast cannot go out of bounds")
+		annotated = false
+	}
+
+	ast.Inspect(decl, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); !ok || pkg.Imported() != types.Unsafe {
+			return true
+		}
+		op := sel.Sel.Name
+		switch {
+		case constOnly[op]:
+		case bannedEverywhere[op]:
+			pass.Reportf(sel.Pos(), "unsafe.%s is outside the vetted cast shapes (pointer arithmetic / header access); restructure around unsafe.Slice over an addressable value", op)
+		case !annotated:
+			pass.Reportf(sel.Pos(), "use of unsafe.%s outside an allowlisted helper: move it into a declaration annotated //slugvet:unsafe <justification>", op)
+		case op == "Pointer":
+			checkPointerShape(pass, sel)
+		}
+		return true
+	})
+}
+
+// checkPointerShape vets a use of unsafe.Pointer inside an annotated
+// helper. Allowed: converting the address of an addressable value
+// (unsafe.Pointer(&x), unsafe.Pointer(&x[0])), re-converting a value
+// that is already a pointer, and the type appearing in a conversion
+// target or declaration. Rejected: conversion from an integer type,
+// which materializes a pointer the GC knows nothing about.
+func checkPointerShape(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	call := callWithFun(pass, sel)
+	if call == nil || len(call.Args) != 1 {
+		return // type position (conversion target, var decl): no dynamic cast here
+	}
+	arg := ast.Unparen(call.Args[0])
+	if _, ok := arg.(*ast.UnaryExpr); ok {
+		return // unsafe.Pointer(&x...): address of addressable value
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok {
+		return
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Pointer:
+	case *types.Basic:
+		if t.Info()&types.IsInteger != 0 || t.Kind() == types.UntypedInt {
+			pass.Reportf(call.Pos(), "unsafe.Pointer materialized from an integer: uintptr round-trips are invisible to the GC and not allowed even in annotated helpers")
+		} else if t.Kind() != types.UnsafePointer {
+			pass.Reportf(call.Pos(), "unsafe.Pointer conversion of a non-pointer value is outside the vetted cast shapes")
+		}
+	default:
+		if t.String() != "unsafe.Pointer" {
+			pass.Reportf(call.Pos(), "unsafe.Pointer conversion of a non-pointer value is outside the vetted cast shapes")
+		}
+	}
+}
+
+// callWithFun returns the CallExpr whose Fun is exactly sel, found by
+// checking the expression's type: if sel is used as a call operand the
+// enclosing node recorded for it in Types has it as Fun. A cheap parent
+// lookup that avoids threading a full parent map.
+func callWithFun(pass *analysis.Pass, sel *ast.SelectorExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for expr := range pass.TypesInfo.Types {
+		if call, ok := expr.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			found = call
+			break
+		}
+	}
+	return found
+}

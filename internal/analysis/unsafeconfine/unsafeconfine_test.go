@@ -1,0 +1,53 @@
+package unsafeconfine_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/unsafeconfine"
+)
+
+func TestUnsafeconfine(t *testing.T) {
+	analysistest.Run(t, unsafeconfine.Analyzer, "a")
+}
+
+// TestLinkname runs the analyzer over a hand-parsed file: a //go:linkname
+// directive cannot live in a compiled fixture (the go tool rejects any
+// fixture-adjacent trailing text on the directive line), and the check
+// is purely syntactic, so no type information is needed.
+func TestLinkname(t *testing.T) {
+	const src = `package a
+
+//go:linkname now runtime.nanotime
+func now() int64
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  unsafeconfine.Analyzer,
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		Pkg:       types.NewPackage("a", "a"),
+		TypesInfo: &types.Info{Uses: map[*ast.Ident]types.Object{}},
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := unsafeconfine.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0].Message, "//go:linkname") {
+		t.Fatalf("got %d diagnostics %v, want exactly one //go:linkname report", len(got), got)
+	}
+	if fset.Position(got[0].Pos).Line != 3 {
+		t.Fatalf("diagnostic at line %d, want 3 (the directive comment)", fset.Position(got[0].Pos).Line)
+	}
+}

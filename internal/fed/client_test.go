@@ -220,8 +220,8 @@ func TestHedgingFiresAndCancelsLoser(t *testing.T) {
 	c, err := fed.NewClient(
 		&fed.Peers{Shards: [][]string{{slow.URL, fast.URL}}},
 		fed.Config{
-			Timeout:    3 * time.Second,
-			Retries:    0, RetriesSet: true,
+			Timeout: 3 * time.Second,
+			Retries: 0, RetriesSet: true,
 			HedgeDelay:      20 * time.Millisecond,
 			BreakerFailures: 100,
 		})

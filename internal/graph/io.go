@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -55,7 +56,7 @@ func LoadEdgeList(path string) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //slugvet:ok syncerr (read-only descriptor; close failure cannot corrupt data already read)
 	return ReadEdgeList(f)
 }
 
@@ -81,8 +82,7 @@ func SaveEdgeList(path string, g *Graph) error {
 		return err
 	}
 	if err := WriteEdgeList(f, g); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

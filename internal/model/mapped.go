@@ -85,10 +85,20 @@ var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
 // order directly. The zero-copy cast is only sound on little-endian
 // hosts (amd64, arm64, riscv64, ...); big-endian hosts get a clear
 // error instead of silently transposed integers.
+//
+//slugvet:unsafe reads one byte of a local uint16 to probe byte order; the pointee outlives the cast and no index is involved
 var hostLittleEndian = func() bool {
 	var x uint16 = 1
 	return *(*byte)(unsafe.Pointer(&x)) == 1
 }()
+
+// aligned8 reports whether b's base address is 8-byte aligned, as the
+// zero-copy int32/int64 views require.
+//
+//slugvet:unsafe address inspection only: the pointer is converted to uintptr for a modulus check and never converted back
+func aligned8(b []byte) bool {
+	return uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
 
 var errBigEndianHost = errors.New("model: compiled v2 artifacts require a little-endian host")
 
@@ -135,6 +145,8 @@ func (lo *mappedLayout) fileSize() int { return lo.footerOff + mappedFtrLen }
 
 // int32Bytes views an int32 slice as raw bytes (little-endian hosts
 // only; callers gate on hostLittleEndian).
+//
+//slugvet:unsafe narrowing view: byte length equals the source slice's exact byte size, so no index can exceed the backing array
 func int32Bytes(s []int32) []byte {
 	if len(s) == 0 {
 		return nil
@@ -142,6 +154,7 @@ func int32Bytes(s []int32) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
 }
 
+//slugvet:unsafe narrowing view: byte length equals the source slice's exact byte size, so no index can exceed the backing array
 func int64Bytes(s []int64) []byte {
 	if len(s) == 0 {
 		return nil
@@ -149,6 +162,7 @@ func int64Bytes(s []int64) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
 }
 
+//slugvet:unsafe same-size view: int8 and byte share layout, so the element count is unchanged
 func int8Bytes(s []int8) []byte {
 	if len(s) == 0 {
 		return nil
@@ -156,6 +170,7 @@ func int8Bytes(s []int8) []byte {
 	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s))
 }
 
+//slugvet:unsafe widening view: len/4 rounds down so the view never exceeds the backing bytes; callers gate 8-byte base alignment via aligned8
 func bytesToInt32(b []byte) []int32 {
 	if len(b) == 0 {
 		return nil
@@ -163,6 +178,7 @@ func bytesToInt32(b []byte) []int32 {
 	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
 }
 
+//slugvet:unsafe widening view: len/8 rounds down so the view never exceeds the backing bytes; callers gate 8-byte base alignment via aligned8
 func bytesToInt64(b []byte) []int64 {
 	if len(b) == 0 {
 		return nil
@@ -170,6 +186,7 @@ func bytesToInt64(b []byte) []int64 {
 	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
 }
 
+//slugvet:unsafe same-size view: byte and int8 share layout, so the element count is unchanged
 func bytesToInt8(b []byte) []int8 {
 	if len(b) == 0 {
 		return nil
@@ -180,6 +197,8 @@ func bytesToInt8(b []byte) []int8 {
 // AlignedBuffer returns a zeroed byte slice of length n whose base
 // address is 8-byte aligned, as FromMapped requires. (mmap regions are
 // page-aligned; heap readers use this to match.)
+//
+//slugvet:unsafe narrowing view over a fresh uint64 backing array sized to ceil(n/8)*8 >= n bytes, so the n-byte view stays in bounds
 func AlignedBuffer(n int) []byte {
 	if n == 0 {
 		return nil
@@ -302,7 +321,7 @@ func FromMapped(data []byte) (*CompiledSummary, MappedInfo, error) {
 	if len(data) < mappedHdrLen+mappedTblLen+mappedCRCLen+mappedFtrLen {
 		return nil, info, fmt.Errorf("%w: %d bytes is shorter than the fixed envelope", ErrMappedTruncated, len(data))
 	}
-	if uintptr(unsafe.Pointer(&data[0]))%8 != 0 {
+	if !aligned8(data) {
 		return nil, info, fmt.Errorf("%w: base address %p", ErrMappedMisaligned, &data[0])
 	}
 	if string(data[0:4]) != MappedMagic {

@@ -509,6 +509,8 @@ func (l *Live) beginCompactionLocked() (*DeltaOverlay, RebuildFunc, uint64) {
 // lock. The committed base may already include journaled batches beyond
 // ckptLSN; tagging low is safe because updates are absolute set
 // operations, so replaying an already-applied suffix converges.
+//
+//slugvet:cow
 func (l *Live) runCompaction(view *DeltaOverlay, rebuild RebuildFunc, ckptLSN uint64) {
 	g := view.Decode()
 	cs, err := rebuild(g)

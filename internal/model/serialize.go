@@ -3,6 +3,7 @@ package model
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -180,8 +181,7 @@ func (s *Summary) Save(path string) error {
 		return err
 	}
 	if _, err := s.WriteTo(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }
@@ -192,6 +192,6 @@ func Load(path string) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //slugvet:ok syncerr (read-only descriptor; close failure cannot corrupt data already read)
 	return ReadFrom(f)
 }

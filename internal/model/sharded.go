@@ -287,6 +287,7 @@ func (sc *ShardedCompiled) ReleaseCtx(ctx *ShardedCtx) { sc.ctxPool.Put(ctx) }
 // first use.
 func (c *ShardedCtx) shardCtx(s int32) *QueryCtx {
 	if c.ctxs[s] == nil {
+		//slugvet:ok poolpair (deliberate retention: the ShardedCtx is itself pooled and keeps per-shard contexts warm across borrows)
 		c.ctxs[s] = c.sc.shards[s].AcquireCtx()
 	}
 	return c.ctxs[s]

@@ -30,10 +30,10 @@ type File interface {
 // OSFS is the real filesystem.
 type OSFS struct{}
 
-func (OSFS) MkdirAll(dir string, perm os.FileMode) error  { return os.MkdirAll(dir, perm) }
-func (OSFS) ReadDir(dir string) ([]os.DirEntry, error)    { return os.ReadDir(dir) }
-func (OSFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
-func (OSFS) Remove(name string) error                     { return os.Remove(name) }
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+func (OSFS) ReadDir(dir string) ([]os.DirEntry, error)   { return os.ReadDir(dir) }
+func (OSFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error                    { return os.Remove(name) }
 func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }

@@ -20,11 +20,11 @@ import (
 // must be dense and ascending, and records in files the corruption
 // never touched must survive in full.
 func FuzzWALReplay(f *testing.F) {
-	f.Add(uint8(0), uint32(20), byte(0xff), uint32(1<<30))  // flip early in first segment
-	f.Add(uint8(1), uint32(5), byte(0x01), uint32(1<<30))   // flip second segment header
-	f.Add(uint8(2), uint32(1000), byte(0), uint32(30))      // truncate a segment
-	f.Add(uint8(9), uint32(12), byte(0x80), uint32(1 << 30)) // corrupt the checkpoint
-	f.Add(uint8(0), uint32(0), byte(0), uint32(0))          // truncate to nothing
+	f.Add(uint8(0), uint32(20), byte(0xff), uint32(1<<30)) // flip early in first segment
+	f.Add(uint8(1), uint32(5), byte(0x01), uint32(1<<30))  // flip second segment header
+	f.Add(uint8(2), uint32(1000), byte(0), uint32(30))     // truncate a segment
+	f.Add(uint8(9), uint32(12), byte(0x80), uint32(1<<30)) // corrupt the checkpoint
+	f.Add(uint8(0), uint32(0), byte(0), uint32(0))         // truncate to nothing
 
 	f.Fuzz(func(t *testing.T, target uint8, xorPos uint32, xorVal byte, truncTo uint32) {
 		dir := t.TempDir()

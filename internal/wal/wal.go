@@ -22,8 +22,7 @@
 //
 // segment header:  "SLWS" | version u8 | firstLSN u64le
 // frame:           payloadLen u32le | crc32c(payload) u32le | payload
-// checkpoint:      "SLWC" | version u8 | lsn u64le | payload
-//	                | crc32c(payload) u32le | payloadLen u64le | "SLWE"
+// checkpoint:      "SLWC" | version u8 | lsn u64le | payload | crc32c(payload) u32le | payloadLen u64le | "SLWE"
 package wal
 
 import (
@@ -39,14 +38,14 @@ import (
 )
 
 const (
-	segMagic   = "SLWS"
-	ckptMagic  = "SLWC"
-	ckptEnd    = "SLWE"
-	formatVer  = 1
-	segHdrLen  = 4 + 1 + 8
+	segMagic    = "SLWS"
+	ckptMagic   = "SLWC"
+	ckptEnd     = "SLWE"
+	formatVer   = 1
+	segHdrLen   = 4 + 1 + 8
 	frameHdrLen = 4 + 4
-	ckptHdrLen = 4 + 1 + 8
-	ckptTrlLen = 4 + 8 + 4
+	ckptHdrLen  = 4 + 1 + 8
+	ckptTrlLen  = 4 + 8 + 4
 
 	// maxRecordBytes bounds one record, so a corrupt length prefix can
 	// never provoke a giant allocation during recovery.
@@ -265,8 +264,7 @@ func (l *Log) openActive() error {
 	hdr[4] = formatVer
 	binary.LittleEndian.PutUint64(hdr[5:], l.nextLSN)
 	if _, err := f.Write(hdr[:]); err != nil {
-		f.Close()
-		return fmt.Errorf("wal: writing segment header: %w", err)
+		return errors.Join(fmt.Errorf("wal: writing segment header: %w", err), f.Close())
 	}
 	l.active = f
 	l.bw = bufio.NewWriterSize(writerOnly{f}, 64<<10)
@@ -566,5 +564,5 @@ func (l *Log) Stats() Stats {
 	}
 }
 
-func segName(first uint64) string  { return fmt.Sprintf("wal-%016x.seg", first) }
-func ckptName(lsn uint64) string   { return fmt.Sprintf("ckpt-%016x.ck", lsn) }
+func segName(first uint64) string { return fmt.Sprintf("wal-%016x.seg", first) }
+func ckptName(lsn uint64) string  { return fmt.Sprintf("ckpt-%016x.ck", lsn) }

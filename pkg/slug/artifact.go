@@ -3,6 +3,7 @@ package slug
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -230,7 +231,7 @@ func atomicWrite(path string, write func(io.Writer) (int64, error)) error {
 	}
 	tmp := f.Name()
 	fail := func(err error) error {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
@@ -271,7 +272,7 @@ func Load(path string) (Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //slugvet:ok syncerr (read-only descriptor; close failure cannot corrupt data already read)
 	return ReadFrom(f)
 }
 

@@ -14,6 +14,7 @@ package slug
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -100,8 +101,7 @@ func openDurable(art Artifact, cfg buildConfig, opts []Option) (Updatable, error
 		return nil, fmt.Errorf("slug: opening WAL: %w", err)
 	}
 	fail := func(err error) (Updatable, error) {
-		log.Close()
-		return nil, err
+		return nil, errors.Join(err, log.Close())
 	}
 
 	// The on-disk checkpoint is authoritative: it is the base the logged

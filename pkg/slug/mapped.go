@@ -94,7 +94,7 @@ func OpenMapped(path string) (*Mapped, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //slugvet:ok syncerr (read-only descriptor; the mapping outlives the fd by design)
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err

@@ -356,7 +356,7 @@ func LoadSharded(path string) (*Sharded, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //slugvet:ok syncerr (read-only descriptor; close failure cannot corrupt data already read)
 	return ReadShardedFrom(f)
 }
 

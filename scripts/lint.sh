@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Run the repo's full static-analysis gate locally — the same checks the
+# CI "Static analysis" job enforces: gofmt, go vet, and slugvet (the
+# repo's own invariant suite; see README "Static analysis" and
+# internal/analysis/*). govulncheck runs too when it is installed or
+# installable; offline environments skip it with a note.
+#
+# Usage: scripts/lint.sh  (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "gofmt needs to be run on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+else
+    echo "ok"
+fi
+
+echo "== go vet =="
+if go vet ./...; then
+    echo "ok"
+else
+    fail=1
+fi
+
+echo "== slugvet =="
+slugvet="$(mktemp -d)/slugvet"
+trap 'rm -rf "$(dirname "$slugvet")"' EXIT
+go build -o "$slugvet" ./cmd/slugvet
+if "$slugvet" ./...; then
+    echo "ok"
+else
+    fail=1
+fi
+
+echo "== govulncheck =="
+govulncheck="$(go env GOPATH)/bin/govulncheck"
+if [ ! -x "$govulncheck" ]; then
+    go install golang.org/x/vuln/cmd/govulncheck@latest 2>/dev/null || true
+fi
+if [ -x "$govulncheck" ]; then
+    if "$govulncheck" ./...; then
+        echo "ok"
+    else
+        fail=1
+    fi
+else
+    echo "govulncheck unavailable (offline?); skipped"
+fi
+
+exit "$fail"
