@@ -1,0 +1,162 @@
+// Command loadgen drives a running serve (or fedserve) instance with a
+// sustained open-loop mixed workload — zipfian single and batch
+// neighbor queries over both the JSON and binary wire, HasEdge probes,
+// PageRank hits, and a concurrent update stream — and reports
+// coordinated-omission-safe latency quantiles per operation.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -rate 2000 -duration 10s
+//	loadgen -url ... -rates 500,2000,8000 -duration 5s     (latency curve)
+//	loadgen -url ... -read-only                            (immutable server)
+//	loadgen -url ... -n 100000                             (explicit id space)
+//
+// The generator is open-loop: arrivals follow a fixed schedule at the
+// offered rate, and each request's latency is measured from its
+// *scheduled* start, so server slowdowns show up as queueing latency
+// instead of silently lowering the offered load (the coordinated-
+// omission trap of closed-loop clients). With the same -seed, the
+// request sequence is identical run to run regardless of -workers.
+//
+// When -n is 0 the vertex-id space is discovered from the target's
+// /stats. Output is one JSON document on stdout: a report per rate,
+// forming a throughput-vs-latency curve.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "target server base URL")
+		rate      = flag.Float64("rate", 1000, "offered load, requests/second")
+		rates     = flag.String("rates", "", "comma-separated rate sweep (overrides -rate)")
+		duration  = flag.Duration("duration", 10*time.Second, "schedule length per rate")
+		workers   = flag.Int("workers", 0, "issuing goroutines (0 = 2*GOMAXPROCS)")
+		seed      = flag.Uint64("seed", 1, "determinism seed")
+		n         = flag.Int("n", 0, "vertex id space (0 = discover from /stats)")
+		zipfS     = flag.Float64("zipf", 1.0, "vertex skew exponent (0 = uniform)")
+		batch     = flag.Int("batch", 16, "ids per batch query")
+		readOnly  = flag.Bool("read-only", false, "no update stream (immutable servers)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		pagerankT = flag.Int("pagerank-t", 10, "pagerank iterations per request")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *n == 0 {
+		discovered, err := discoverNumNodes(ctx, *url, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: discovering id space: %v (pass -n explicitly)\n", err)
+			os.Exit(1)
+		}
+		*n = discovered
+	}
+
+	sweep := []float64{*rate}
+	if *rates != "" {
+		sweep = sweep[:0]
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "loadgen: bad -rates entry %q\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, v)
+		}
+	}
+
+	mix := loadgen.DefaultMix
+	if *readOnly {
+		mix = loadgen.ReadOnlyMix
+	}
+
+	out := struct {
+		URL     string            `json:"url"`
+		Seed    uint64            `json:"seed"`
+		Nodes   int               `json:"nodes"`
+		Reports []*loadgen.Report `json:"reports"`
+	}{URL: *url, Seed: *seed, Nodes: *n}
+
+	for _, r := range sweep {
+		fmt.Fprintf(os.Stderr, "loadgen: %s at %.0f req/s for %v...\n", *url, r, *duration)
+		rep, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:   *url,
+			Rate:      r,
+			Duration:  *duration,
+			Workers:   *workers,
+			Seed:      *seed,
+			NumNodes:  *n,
+			Mix:       mix,
+			ZipfS:     *zipfS,
+			BatchSize: *batch,
+			PageRankT: *pagerankT,
+			Timeout:   *timeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen:   %.0f qps achieved, p50 %.0fµs p99 %.0fµs p999 %.0fµs, %d errors\n",
+			rep.AchievedQPS, rep.Overall.P50Us, rep.Overall.P99Us, rep.Overall.P999Us, rep.Errors)
+		out.Reports = append(out.Reports, rep)
+		if ctx.Err() != nil {
+			break // interrupted: report what we have
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: encoding report: %v\n", err)
+		os.Exit(1)
+	}
+	for _, rep := range out.Reports {
+		if rep.Errors > 0 {
+			os.Exit(3) // nonzero exit when any request failed
+		}
+	}
+}
+
+// discoverNumNodes reads the vertex count from the target's /stats.
+func discoverNumNodes(ctx context.Context, base string, timeout time.Duration) (int, error) {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, base+"/stats", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/stats status %d", resp.StatusCode)
+	}
+	var stats struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return 0, err
+	}
+	if stats.Nodes <= 0 {
+		return 0, fmt.Errorf("/stats reports %d nodes", stats.Nodes)
+	}
+	return stats.Nodes, nil
+}

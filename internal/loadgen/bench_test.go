@@ -1,0 +1,46 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkLoadgenMixed drives the mixed workload against an in-process
+// server at a sweep of offered rates and reports the open-loop tail at
+// each point — the throughput-vs-latency curve scripts/bench.sh records
+// into BENCH_10.json. Each b.N iteration is one complete fixed-length
+// run; the reported metrics are from the last run (run with
+// -benchtime 1x for one clean sample per rate).
+func BenchmarkLoadgenMixed(b *testing.B) {
+	ts, n := liveLoadTarget(b, 2000)
+	for _, rate := range []float64{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("rate=%.0f", rate), func(b *testing.B) {
+			var rep *Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = Run(context.Background(), Config{
+					BaseURL:  ts.URL,
+					Rate:     rate,
+					Duration: 2 * time.Second,
+					Seed:     42,
+					NumNodes: n,
+					ZipfS:    1.0,
+					Client:   ts.Client(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Errors > 0 {
+					b.Fatalf("%d errors at rate %.0f: %s", rep.Errors, rate, rep.Overall.LastErr)
+				}
+			}
+			b.ReportMetric(rep.AchievedQPS, "qps")
+			b.ReportMetric(rep.Overall.P50Us*1e3, "p50-ns")
+			b.ReportMetric(rep.Overall.P99Us*1e3, "p99-ns")
+			b.ReportMetric(rep.Overall.P999Us*1e3, "p999-ns")
+			b.ReportMetric(rep.MaxSchedLagUs*1e3, "sched-lag-max-ns")
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package loadgen
+
+// Log-bucketed latency histogram in the HDR style: fixed memory, O(1)
+// record, bounded relative error. Values below 2^subBits land in exact
+// unit buckets; above that, each power of two is split into 2^subBits
+// sub-buckets, so a recorded value is off from its bucket's upper bound
+// by at most 1/2^subBits ≈ 3.1% — tight enough for tail quantiles,
+// cheap enough to keep one histogram per worker per operation and merge
+// at the end (no atomics, no locks on the record path).
+
+import "math/bits"
+
+// subBits sub-buckets per power of two: 32 → ≤3.125% relative error.
+const subBits = 5
+
+const subCount = 1 << subBits // 32
+
+// histBuckets covers the full uint64 range: 32 exact unit buckets plus
+// 32 sub-buckets for each exponent from subBits through 63.
+const histBuckets = subCount + (64-subBits)*subCount
+
+// Hist is a single-writer latency histogram (one per worker; merge for
+// totals). Values are nanoseconds by convention, but the histogram is
+// unit-agnostic.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	sum    uint64
+	max    uint64
+}
+
+// bucketIndex maps a value to its bucket. Values 0..31 are exact;
+// larger values share a bucket with at most a 3.1% span.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= subBits
+	sub := (v >> uint(exp-subBits)) & (subCount - 1)
+	return subCount + (exp-subBits)*subCount + int(sub)
+}
+
+// bucketUpper returns the largest value mapping to bucket i.
+func bucketUpper(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	e := uint((i - subCount) / subCount) // exponent - subBits
+	sub := uint64((i-subCount)%subCount) + subCount
+	return (sub << e) + (uint64(1) << e) - 1
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v uint64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Max returns the largest recorded observation, exactly.
+func (h *Hist) Max() uint64 { return h.max }
+
+// Mean returns the exact arithmetic mean of the observations.
+func (h *Hist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]): the
+// upper edge of the bucket holding the observation of that rank, at
+// most ~3.1% above the true value. Quantile(0) is a bound on the
+// minimum, Quantile(1) on the maximum.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max // never report beyond the observed max
+			}
+			return u
+		}
+	}
+	return h.max
+}

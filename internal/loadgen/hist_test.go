@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistSmallValuesExact: values below 2^subBits occupy exact unit
+// buckets, so their quantiles are exact.
+func TestHistSmallValuesExact(t *testing.T) {
+	var h Hist
+	for v := uint64(0); v < subCount; v++ {
+		h.Record(v)
+	}
+	for v := uint64(0); v < subCount; v++ {
+		q := float64(v) / float64(subCount-1) // rank = q*(count-1) = v exactly
+		if got := h.Quantile(q); got != v {
+			t.Fatalf("Quantile(%.3f) = %d, want exactly %d", q, got, v)
+		}
+	}
+}
+
+// TestHistQuantileVsReference compares histogram quantiles against the
+// exact sorted-slice answer on heavy-tailed data: every estimate must
+// sit within the histogram's design error (one sub-bucket, ≤3.125%)
+// above the true value.
+func TestHistQuantileVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	var h Hist
+	vals := make([]uint64, n)
+	for i := range vals {
+		// Lognormal-ish latencies: ~µs to ~seconds in ns.
+		v := uint64(math.Exp(rng.NormFloat64()*2+12)) + 1
+		vals[i] = v
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999, 1} {
+		exact := vals[int(q*float64(n-1))]
+		got := h.Quantile(q)
+		if got < exact {
+			t.Fatalf("q=%v: estimate %d below exact %d (upper-bound property violated)", q, got, exact)
+		}
+		maxErr := float64(exact) / subCount // one sub-bucket of relative error
+		if float64(got-exact) > maxErr+1 {
+			t.Fatalf("q=%v: estimate %d vs exact %d, error %.2f%% exceeds %.2f%%",
+				q, got, exact, 100*float64(got-exact)/float64(exact), 100.0/subCount)
+		}
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	if h.Max() != vals[n-1] {
+		t.Fatalf("max = %d, want %d", h.Max(), vals[n-1])
+	}
+}
+
+// TestHistMerge: recording a stream into k shards and merging must give
+// bit-identical results to recording it into one histogram — the merge
+// used to fold per-worker shards cannot lose or distort anything.
+func TestHistMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var whole Hist
+	shards := make([]Hist, 7)
+	for i := 0; i < 50000; i++ {
+		v := uint64(rng.Intn(1 << 30))
+		whole.Record(v)
+		shards[i%len(shards)].Record(v)
+	}
+	var merged Hist
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	if merged != whole {
+		t.Fatal("merged shards differ from the single-histogram recording")
+	}
+}
+
+// TestHistBucketRoundTrip: every bucket's upper bound maps back to that
+// bucket, and bucket boundaries are monotone — the index math has no
+// holes or overlaps.
+func TestHistBucketRoundTrip(t *testing.T) {
+	prev := uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		u := bucketUpper(i)
+		if bucketIndex(u) != i {
+			t.Fatalf("bucketUpper(%d) = %d maps to bucket %d", i, u, bucketIndex(u))
+		}
+		if i > 0 && u <= prev {
+			t.Fatalf("bucket %d upper %d not above bucket %d upper %d", i, u, i-1, prev)
+		}
+		prev = u
+	}
+	// And a spot check across magnitudes: a value never lands below its
+	// bucket's range.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		v := uint64(rng.Int63())
+		idx := bucketIndex(v)
+		if v > bucketUpper(idx) {
+			t.Fatalf("value %d above its bucket %d upper %d", v, idx, bucketUpper(idx))
+		}
+		if idx > 0 && v <= bucketUpper(idx-1) {
+			t.Fatalf("value %d belongs below bucket %d", v, idx)
+		}
+	}
+}
+
+// TestZipfDeterminismAndSkew: the sampler is a pure function of its
+// input draw, and with s=1 low ranks dominate high ranks.
+func TestZipfDeterminismAndSkew(t *testing.T) {
+	z1 := NewZipf(1000, 1.0)
+	z2 := NewZipf(1000, 1.0)
+	counts := make([]int, 1000)
+	g := &rng{s: splitmix64(99)}
+	for i := 0; i < 100000; i++ {
+		u := g.unit()
+		a, b := z1.Sample(u), z2.Sample(u)
+		if a != b {
+			t.Fatalf("draw %v: %d != %d", u, a, b)
+		}
+		counts[a]++
+	}
+	if counts[0] <= counts[500]*10 {
+		t.Fatalf("no zipf skew: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// Uniform degenerate case covers the whole range.
+	u := NewZipf(10, 0)
+	if u.Sample(0.95) != 9 || u.Sample(0.05) != 0 {
+		t.Fatalf("uniform sampler broken: %d %d", u.Sample(0.95), u.Sample(0.05))
+	}
+}
+
+// TestRequestDerivationDeterminism: the op sequence is a pure function
+// of (seed, mix) — the property that makes runs reproducible across
+// worker counts — and follows the configured mix proportions.
+func TestRequestDerivationDeterminism(t *testing.T) {
+	mk := func(seed uint64) []Op {
+		r := &runner{cfg: Config{Seed: seed, Mix: DefaultMix}}
+		var sum float64
+		for _, w := range r.cfg.Mix {
+			sum += w
+		}
+		acc := 0.0
+		for i, w := range r.cfg.Mix {
+			acc += w / sum
+			r.cum[i] = acc
+		}
+		ops := make([]Op, 20000)
+		for i := range ops {
+			g := &rng{s: splitmix64(r.cfg.Seed^0xdead4badc0ffee) ^ splitmix64(uint64(i))}
+			ops[i] = r.pickOp(g.unit())
+		}
+		return ops
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("index %d: op %v vs %v under the same seed", i, a[i], b[i])
+		}
+	}
+	c := mk(8)
+	same := 0
+	var histo [numOps]int
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+		histo[a[i]]++
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced the identical op sequence")
+	}
+	// Mix proportions hold to within a few percent at n=20000 (weights
+	// are relative: normalize before comparing).
+	var mixSum float64
+	for _, w := range DefaultMix {
+		mixSum += w
+	}
+	for op, weight := range DefaultMix {
+		got := float64(histo[op]) / float64(len(a))
+		want := weight / mixSum
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("op %v frequency %.3f, normalized mix weight %.3f", Op(op), got, want)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// liveLoadTarget builds an in-process mutable server over a random
+// graph: the full surface the generator exercises, updates included.
+func liveLoadTarget(tb testing.TB, n int) (*httptest.Server, int) {
+	tb.Helper()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	rng := rand.New(rand.NewSource(5))
+	var edges []model.Edge
+	for i := 0; i < 4*n; i++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != b {
+			edges = append(edges, model.Edge{A: a, B: b, Sign: 1})
+		}
+	}
+	l := model.NewLive(model.New(n, parent, edges).Compile())
+	l.SetRebuild(func(g *graph.Graph) (*model.CompiledSummary, error) {
+		gn := g.NumNodes()
+		p := make([]int32, gn)
+		for i := range p {
+			p[i] = -1
+		}
+		var es []model.Edge
+		g.ForEachEdge(func(u, v int32) { es = append(es, model.Edge{A: u, B: v, Sign: 1}) })
+		return model.New(gn, p, es).Compile(), nil
+	})
+	ts := httptest.NewServer(serve.NewLive(l).Handler())
+	tb.Cleanup(ts.Close)
+	return ts, n
+}
+
+// TestLoadgenSmoke is the CI gate: a short fixed-seed mixed run against
+// an in-process server must complete its schedule with nonzero
+// throughput, zero errors, and traffic on every op in the mix.
+func TestLoadgenSmoke(t *testing.T) {
+	ts, n := liveLoadTarget(t, 500)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Rate:     400,
+		Duration: 500 * time.Millisecond,
+		Workers:  8,
+		Seed:     42,
+		NumNodes: n,
+		ZipfS:    1.0,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(400 * 0.5)
+	if rep.Requests != want {
+		t.Fatalf("completed %d requests, schedule had %d", rep.Requests, want)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors; overall.last_error = %q", rep.Errors, rep.Overall.LastErr)
+	}
+	if rep.AchievedQPS <= 0 {
+		t.Fatalf("achieved qps = %v", rep.AchievedQPS)
+	}
+	if rep.Overall.P50Us <= 0 || rep.Overall.P999Us < rep.Overall.P99Us || rep.Overall.P99Us < rep.Overall.P50Us {
+		t.Fatalf("quantiles inconsistent: %+v", rep.Overall)
+	}
+	seen := map[string]uint64{}
+	for _, op := range rep.Ops {
+		seen[op.Op] = op.Count
+	}
+	for op := Op(0); op < numOps; op++ {
+		if DefaultMix[op] > 0 && seen[op.String()] == 0 {
+			t.Fatalf("op %v never issued: %v", op, seen)
+		}
+	}
+}
+
+// TestLoadgenDeterministicWorkload: two runs with the same seed issue
+// the identical request multiset (same per-op counts) even with
+// different worker counts — the schedule, not the workers, decides what
+// request i is.
+func TestLoadgenDeterministicWorkload(t *testing.T) {
+	ts, n := liveLoadTarget(t, 200)
+	run := func(workers int) map[string]uint64 {
+		rep, err := Run(context.Background(), Config{
+			BaseURL:  ts.URL,
+			Rate:     600,
+			Duration: 300 * time.Millisecond,
+			Workers:  workers,
+			Seed:     7,
+			NumNodes: n,
+			Client:   ts.Client(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]uint64{}
+		for _, op := range rep.Ops {
+			out[op.Op] = op.Count
+		}
+		return out
+	}
+	a, b := run(2), run(16)
+	for op, c := range a {
+		if b[op] != c {
+			t.Fatalf("op %s: %d requests with 2 workers, %d with 16", op, c, b[op])
+		}
+	}
+}
+
+// TestOpenLoopPacing: against a fast in-process server the generator
+// must hold its offered rate — the wall-clock of the run is the
+// schedule length, not the sum of request latencies.
+func TestOpenLoopPacing(t *testing.T) {
+	ts, n := liveLoadTarget(t, 100)
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Rate:     1000,
+		Duration: 500 * time.Millisecond,
+		Workers:  8,
+		Seed:     3,
+		NumNodes: n,
+		Mix:      Mix{OpNeighbors: 1}, // cheapest op: isolate the scheduler
+		Client:   ts.Client(),
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schedule spans 500ms; the run must take at least that (the
+	// scheduler may not rush ahead of the arrival times) and not wildly
+	// more (the last arrival is at ~499.5ms; generous slack for CI).
+	if rep.DurationSec < 0.45 {
+		t.Fatalf("run finished in %.3fs: scheduler ran ahead of the arrival clock", rep.DurationSec)
+	}
+	if rep.DurationSec > 2.0 {
+		t.Fatalf("run took %.3fs for a 0.5s schedule: generator cannot hold the rate", rep.DurationSec)
+	}
+	if rep.AchievedQPS < cfg.Rate*0.25 || rep.AchievedQPS > cfg.Rate*1.15 {
+		t.Fatalf("achieved %.0f qps against a %.0f qps schedule", rep.AchievedQPS, cfg.Rate)
+	}
+}
+
+// TestLoadgenCancellation: a cancelled context stops the run promptly
+// and still reports what was measured.
+func TestLoadgenCancellation(t *testing.T) {
+	ts, n := liveLoadTarget(t, 100)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Config{
+		BaseURL:  ts.URL,
+		Rate:     100,
+		Duration: 30 * time.Second, // would run far past the ctx deadline
+		Workers:  4,
+		Seed:     1,
+		NumNodes: n,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("cancelled run still took %v", wall)
+	}
+	if rep.Requests >= 3000 {
+		t.Fatalf("cancelled run completed the whole schedule: %d requests", rep.Requests)
+	}
+}
+
+// TestLoadgenConfigValidation: bad configs fail fast with a clear
+// error instead of hammering nothing.
+func TestLoadgenConfigValidation(t *testing.T) {
+	ctx := context.Background()
+	for _, cfg := range []Config{
+		{},
+		{BaseURL: "http://x", Rate: 100, Duration: time.Second},              // no NumNodes
+		{BaseURL: "http://x", Rate: -1, Duration: time.Second, NumNodes: 10}, // bad rate
+		{BaseURL: "http://x", Rate: 100, NumNodes: 10},                       // no duration
+		{BaseURL: "http://x", Rate: 100, Duration: time.Second, NumNodes: 10, Mix: Mix{OpNeighbors: -1}},
+	} {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	// Unreachable target: the preflight probe fails, not the schedule.
+	if _, err := Run(ctx, Config{
+		BaseURL: "http://127.0.0.1:1", Rate: 100, Duration: time.Second,
+		NumNodes: 10, Timeout: 200 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("unreachable target accepted")
+	}
+}

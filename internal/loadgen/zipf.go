@@ -1,0 +1,56 @@
+package loadgen
+
+// Deterministic randomness for the generator. Everything a request does
+// — which operation it is, which vertices it touches — is derived from
+// its schedule index through splitmix64, not from a shared rand.Source.
+// Two consequences: runs with the same seed issue the identical request
+// sequence regardless of worker count or goroutine interleaving, and
+// workers share no RNG state (no lock, no false sharing).
+
+import (
+	"math"
+	"sort"
+)
+
+// splitmix64 is the canonical 64-bit finalizer-style PRNG step: a
+// bijective mixer good enough that consecutive integers map to
+// statistically independent outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a uint64 to [0,1) with 53 bits of precision.
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
+// Zipf samples ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s via inversion on the precomputed CDF. Sampling is a
+// stateless binary search, safe for concurrent use.
+type Zipf struct {
+	cum []float64 // cum[i] = P(rank <= i), cum[n-1] == 1
+}
+
+// NewZipf builds the sampler. n must be positive; s = 0 degenerates to
+// uniform.
+func NewZipf(n int, s float64) *Zipf {
+	cum := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	cum[n-1] = 1
+	return &Zipf{cum: cum}
+}
+
+// Sample maps u in [0,1) to a rank by CDF inversion.
+func (z *Zipf) Sample(u float64) int32 {
+	return int32(sort.SearchFloat64s(z.cum, u))
+}

@@ -15,6 +15,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -70,25 +71,43 @@ func (o *DeltaOverlay) Len() int { return o.plus + o.minus }
 // Version returns the snapshot's monotonically increasing version.
 func (o *DeltaOverlay) Version() uint64 { return o.version }
 
+// ValidateUpdates checks a batch against a vertex count: out-of-range
+// endpoints and self-loops are rejected. Exposed so writers can
+// validate before taking any serialization lock (validity depends only
+// on n, which is fixed for the lifetime of a summary).
+func ValidateUpdates(ups []EdgeUpdate, numNodes int) error {
+	n := int32(numNodes)
+	for _, up := range ups {
+		if up.U < 0 || up.U >= n || up.V < 0 || up.V >= n {
+			return fmt.Errorf("model: update endpoint (%d,%d) out of range [0,%d)", up.U, up.V, n)
+		}
+		if up.U == up.V {
+			return fmt.Errorf("model: self-loop update on vertex %d", up.U)
+		}
+	}
+	return nil
+}
+
 // Apply returns a new overlay with ups applied on top of o, together
 // with the number of effective updates (inserting a present edge or
 // deleting an absent one is a no-op, so replaying a stream is
 // idempotent). The receiver is unchanged. Out-of-range endpoints and
 // self-loops are rejected before anything is applied.
 func (o *DeltaOverlay) Apply(ups []EdgeUpdate) (*DeltaOverlay, int, error) {
-	n := int32(o.cs.n)
-	for _, up := range ups {
-		if up.U < 0 || up.U >= n || up.V < 0 || up.V >= n {
-			return nil, 0, fmt.Errorf("model: update endpoint (%d,%d) out of range [0,%d)", up.U, up.V, n)
-		}
-		if up.U == up.V {
-			return nil, 0, fmt.Errorf("model: self-loop update on vertex %d", up.U)
-		}
+	if err := ValidateUpdates(ups, o.cs.n); err != nil {
+		return nil, 0, err
 	}
+	nxt, applied := o.applyValidated(ups)
+	return nxt, applied, nil
+}
+
+// applyValidated applies a pre-validated batch, returning the new
+// snapshot and the number of effective updates; see Apply.
+func (o *DeltaOverlay) applyValidated(ups []EdgeUpdate) (*DeltaOverlay, int) {
 	nxt := &DeltaOverlay{cs: o.cs, plus: o.plus, minus: o.minus, version: o.version + 1}
 	if len(ups) == 0 {
 		nxt.adj = o.adj
-		return nxt, 0, nil
+		return nxt, 0
 	}
 	// Copy-on-write: share inner maps with o, cloning each vertex's map
 	// the first time this batch writes to it. The outer copy is O(|Δ|)
@@ -173,7 +192,7 @@ func (o *DeltaOverlay) Apply(ups []EdgeUpdate) (*DeltaOverlay, int, error) {
 			}
 		}
 	}
-	return nxt, applied, nil
+	return nxt, applied
 }
 
 // OverlayCtx is the per-goroutine query context for an overlay
@@ -341,6 +360,14 @@ type LiveStats struct {
 	CompactionFailures uint64 // failed compaction attempts since creation
 	Durable            bool   // a durability sink is installed
 	DurableLSN         uint64 // LSN of the last persisted batch, 0 = none
+
+	// Writer-lock contention telemetry: total and maximum time the
+	// writer mutex was held by ApplyUpdates critical sections. Under
+	// mixed read/update load this is the wait a writer inflicts on every
+	// other writer (readers stay lock-free), the first suspect of the
+	// update-path tail.
+	LockHoldNs    int64
+	LockHoldMaxNs int64
 }
 
 // Live maintains a summary that stays queryable while the underlying
@@ -368,6 +395,9 @@ type Live struct {
 	failures    uint64 // failed compaction attempts
 	lastErr     error  // most recent compaction failure, nil after success
 	failedAt    int    // overlay size at the last failure (retry backoff), 0 after success
+
+	lockHoldNs    int64 // total ns the writer lock was held by applyUpdates (under mu)
+	lockHoldMaxNs int64 // longest single hold (under mu)
 
 	durable *Durability
 	lastLSN uint64 // LSN of the last batch routed through the sink
@@ -435,8 +465,8 @@ func (l *Live) View() *DeltaOverlay { return l.cur.Load() }
 // the compaction threshold a background compaction is started (at most
 // one at a time).
 func (l *Live) ApplyUpdates(ups []EdgeUpdate) (int, error) {
-	applied, _, err := l.applyUpdates(ups, false)
-	return applied, err
+	out, err := l.applyUpdates(ups, false)
+	return out.Applied, err
 }
 
 // ApplyUpdatesVersioned is ApplyUpdates returning also the version of
@@ -444,26 +474,60 @@ func (l *Live) ApplyUpdates(ups []EdgeUpdate) (int, error) {
 // changed), so callers can tell readers which snapshot reflects their
 // write.
 func (l *Live) ApplyUpdatesVersioned(ups []EdgeUpdate) (int, uint64, error) {
-	return l.applyUpdates(ups, false)
+	out, err := l.applyUpdates(ups, false)
+	return out.Applied, out.Version, err
 }
 
 // ApplyUpdatesDurable is ApplyUpdatesVersioned that fails with
 // ErrNoDurability when no sink is installed, for callers that must not
 // proceed on a volatile summary.
 func (l *Live) ApplyUpdatesDurable(ups []EdgeUpdate) (int, uint64, error) {
-	return l.applyUpdates(ups, true)
+	out, err := l.applyUpdates(ups, true)
+	return out.Applied, out.Version, err
 }
 
-func (l *Live) applyUpdates(ups []EdgeUpdate, mustDurable bool) (int, uint64, error) {
+// ApplyOutcome reports what one update batch did, captured atomically
+// with the apply itself: the effective-update count, the version of the
+// snapshot the batch landed in, that snapshot's overlay counters, and
+// whether a compaction is in flight. Callers that previously paired
+// ApplyUpdates with a Stats() read can use this instead and halve their
+// writer-lock acquisitions.
+type ApplyOutcome struct {
+	Applied    int
+	Version    uint64
+	Insertions int
+	Deletions  int
+	Compacting bool
+}
+
+// ApplyUpdatesOutcome is ApplyUpdates returning the full outcome in the
+// same (single) writer-lock critical section.
+func (l *Live) ApplyUpdatesOutcome(ups []EdgeUpdate) (ApplyOutcome, error) {
+	return l.applyUpdates(ups, false)
+}
+
+func (l *Live) applyUpdates(ups []EdgeUpdate, mustDurable bool) (ApplyOutcome, error) {
+	// Validation depends only on the (fixed) vertex count, so it runs
+	// before the writer lock: a malformed batch never serializes behind
+	// other writers, and well-formed batches spend less time under the
+	// lock. The snapshot read is lock-free.
+	if err := ValidateUpdates(ups, l.cur.Load().cs.n); err != nil {
+		return l.outcomeLockFree(err)
+	}
 	l.mu.Lock()
+	t0 := time.Now()
 	defer l.mu.Unlock()
+	defer func() {
+		h := time.Since(t0).Nanoseconds()
+		l.lockHoldNs += h
+		if h > l.lockHoldMaxNs {
+			l.lockHoldMaxNs = h
+		}
+	}()
 	if mustDurable && l.durable == nil {
-		return 0, l.cur.Load().version, ErrNoDurability
+		return l.outcomeLocked(0), ErrNoDurability
 	}
-	nxt, applied, err := l.cur.Load().Apply(ups)
-	if err != nil {
-		return 0, l.cur.Load().version, err
-	}
+	nxt, applied := l.cur.Load().applyValidated(ups)
 	if applied > 0 {
 		// Append-then-publish: the batch reaches the log before any
 		// reader can observe it, so an acknowledged write is always
@@ -472,7 +536,7 @@ func (l *Live) applyUpdates(ups []EdgeUpdate, mustDurable bool) (int, uint64, er
 		if l.durable != nil {
 			lsn, err := l.durable.Append(ups)
 			if err != nil {
-				return 0, l.cur.Load().version, fmt.Errorf("%w: %v", ErrDurability, err)
+				return l.outcomeLocked(0), fmt.Errorf("%w: %v", ErrDurability, err)
 			}
 			l.lastLSN = lsn
 		}
@@ -487,7 +551,27 @@ func (l *Live) applyUpdates(ups []EdgeUpdate, mustDurable bool) (int, uint64, er
 		view, rebuild, lsn := l.beginCompactionLocked()
 		go l.runCompaction(view, rebuild, lsn)
 	}
-	return applied, l.cur.Load().version, nil
+	return l.outcomeLocked(applied), nil
+}
+
+// outcomeLocked snapshots the current overlay counters; caller holds
+// l.mu.
+func (l *Live) outcomeLocked(applied int) ApplyOutcome {
+	v := l.cur.Load()
+	return ApplyOutcome{
+		Applied:    applied,
+		Version:    v.version,
+		Insertions: v.plus,
+		Deletions:  v.minus,
+		Compacting: l.compacting,
+	}
+}
+
+// outcomeLockFree builds a rejection outcome from a lock-free snapshot
+// read (the batch was never applied, so no locked state is involved).
+func (l *Live) outcomeLockFree(err error) (ApplyOutcome, error) {
+	v := l.cur.Load()
+	return ApplyOutcome{Version: v.version, Insertions: v.plus, Deletions: v.minus}, err
 }
 
 // beginCompactionLocked marks a compaction in flight and returns the
@@ -621,6 +705,8 @@ func (l *Live) Stats() LiveStats {
 		CompactionFailures: l.failures,
 		Durable:            l.durable != nil,
 		DurableLSN:         l.lastLSN,
+		LockHoldNs:         l.lockHoldNs,
+		LockHoldMaxNs:      l.lockHoldMaxNs,
 	}
 	if l.lastErr != nil {
 		st.LastError = l.lastErr.Error()

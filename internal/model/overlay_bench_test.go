@@ -1,0 +1,147 @@
+package model
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestLiveLockHoldStats pins the writer-mutex telemetry: applies
+// accumulate hold time, the max tracks the worst batch, and — because
+// validation was hoisted out of the critical section — a rejected batch
+// never touches the lock at all.
+func TestLiveLockHoldStats(t *testing.T) {
+	g := randomGraph(40, 0.1, 9)
+	l := NewLive(compileTrivial(g))
+
+	if st := l.Stats(); st.LockHoldNs != 0 || st.LockHoldMaxNs != 0 {
+		t.Fatalf("fresh Live reports hold time: %+v", st)
+	}
+	if _, err := l.ApplyUpdates([]EdgeUpdate{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.LockHoldNs <= 0 || st.LockHoldMaxNs <= 0 || st.LockHoldMaxNs > st.LockHoldNs {
+		t.Fatalf("hold stats after one apply: total=%d max=%d", st.LockHoldNs, st.LockHoldMaxNs)
+	}
+
+	// Invalid batches are rejected before the lock: hold totals frozen.
+	if _, err := l.ApplyUpdates([]EdgeUpdate{{U: 0, V: 99}}); err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if _, err := l.ApplyUpdates([]EdgeUpdate{{U: 3, V: 3}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if after := l.Stats(); after.LockHoldNs != st.LockHoldNs {
+		t.Fatalf("rejected batch grew lock hold: %d -> %d", st.LockHoldNs, after.LockHoldNs)
+	}
+
+	if _, err := l.ApplyUpdates([]EdgeUpdate{{U: 4, V: 5}, {U: 6, V: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if after := l.Stats(); after.LockHoldNs <= st.LockHoldNs {
+		t.Fatalf("second apply did not grow lock hold: %d -> %d", st.LockHoldNs, after.LockHoldNs)
+	}
+}
+
+// TestValidateUpdates covers the exported pre-lock validator.
+func TestValidateUpdates(t *testing.T) {
+	ok := []EdgeUpdate{{U: 0, V: 1}, {U: 2, V: 3, Delete: true}}
+	if err := ValidateUpdates(ok, 4); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	for _, bad := range [][]EdgeUpdate{
+		{{U: -1, V: 1}},
+		{{U: 0, V: 4}},
+		{{U: 2, V: 2}},
+	} {
+		if err := ValidateUpdates(bad, 4); err == nil {
+			t.Fatalf("batch %v accepted", bad)
+		}
+	}
+}
+
+// BenchmarkLiveApplyContended measures writer throughput and lock hold
+// time while concurrent readers hammer the lock-free snapshot path —
+// the serving mixed read/update workload in miniature. The custom
+// lock-hold-ns/op metric is the time each apply spends inside the
+// writer mutex (the window during which a competing writer queues);
+// scripts/bench.sh records it as the contention half of the BENCH_10
+// before/after story.
+func BenchmarkLiveApplyContended(b *testing.B) {
+	for _, readers := range []int{0, 4} {
+		name := "readers=0"
+		if readers > 0 {
+			name = "readers=4"
+		}
+		b.Run(name, func(b *testing.B) {
+			const n = 2000
+			g := randomGraph(n, 0.01, 13)
+			l := NewLive(compileTrivial(g))
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for !stop.Load() {
+						v := l.View()
+						u := int32(rng.Intn(n))
+						_ = v.NeighborsOf(u)
+						_ = v.HasEdge(u, int32(rng.Intn(n)))
+					}
+				}(int64(100 + r))
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			batch := make([]EdgeUpdate, 16)
+			before := l.Stats()
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					u := int32(rng.Intn(n))
+					v := int32(rng.Intn(n))
+					if u == v {
+						v = (v + 1) % n
+					}
+					batch[j] = EdgeUpdate{U: u, V: v, Delete: j%3 == 0}
+				}
+				if _, err := l.ApplyUpdates(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			after := l.Stats()
+			b.ReportMetric(float64(after.LockHoldNs-before.LockHoldNs)/float64(b.N), "lock-hold-ns/op")
+			stop.Store(true)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkLiveApplyValidationOnly prices the pre-lock validation pass:
+// the work that used to sit inside the writer mutex and now runs
+// outside it.
+func BenchmarkLiveApplyValidationOnly(b *testing.B) {
+	const n = 2000
+	rng := rand.New(rand.NewSource(7))
+	batch := make([]EdgeUpdate, 16)
+	for j := range batch {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			v = (v + 1) % n
+		}
+		batch[j] = EdgeUpdate{U: u, V: v}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ValidateUpdates(batch, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// benchServer builds a flat (unsummarized) compiled model over a random
+// graph: big enough that response encoding dominates, small enough to
+// set up per benchmark run.
+func benchServer(n, edges int) *Server {
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	rng := rand.New(rand.NewSource(7))
+	es := make([]model.Edge, 0, edges)
+	for len(es) < edges {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a != b {
+			es = append(es, model.Edge{A: a, B: b, Sign: 1})
+		}
+	}
+	return New(model.New(n, parent, es).Compile())
+}
+
+// nullRW discards the response body; the benchmarks measure handler
+// cost, not the recorder's.
+type nullRW struct {
+	h http.Header
+}
+
+func (w *nullRW) Header() http.Header         { return w.h }
+func (w *nullRW) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullRW) WriteHeader(int)             {}
+
+// legacyWriteJSON is the pre-optimization serializer: reflection-driven
+// encoding/json straight into the response.
+func legacyWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// legacyAnswerNeighbors is the pre-optimization response path, kept as
+// the "before" side of the alloc benchmarks: materialize a
+// []NeighborsResult (copying every neighbor list out of the pooled
+// decompression buffers) and hand it to encoding/json.
+func legacyAnswerNeighbors(s *Server, w http.ResponseWriter, vs []int32, single bool) {
+	view := s.view()
+	results := make([]NeighborsResult, 0, len(vs))
+	view.NeighborsBatch(vs, func(v int32, nbrs []int32) {
+		results = append(results, NeighborsResult{
+			V: v, Degree: len(nbrs), Neighbors: append([]int32{}, nbrs...),
+		})
+	})
+	s.setVersionHeader(w, view)
+	if single && len(vs) == 1 {
+		legacyWriteJSON(w, http.StatusOK, results[0])
+		return
+	}
+	legacyWriteJSON(w, http.StatusOK, results)
+}
+
+func legacyHandleHasEdge(s *Server, w http.ResponseWriter, u, v int32) {
+	view := s.view()
+	s.setVersionHeader(w, view)
+	legacyWriteJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": view.HasEdge(u, v)})
+}
+
+// The before/after pairs below are what scripts/bench.sh records into
+// BENCH_10.json: same server, same vertices, same response bytes
+// (pinned by TestFastJSONByteParity) — only the encoding path differs.
+
+func BenchmarkServeNeighborsEncodeLegacy(b *testing.B) {
+	s := benchServer(10000, 60000)
+	w := &nullRW{h: make(http.Header)}
+	vs := []int32{4321}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		legacyAnswerNeighbors(s, w, vs, true)
+	}
+}
+
+func BenchmarkServeNeighborsEncodePooled(b *testing.B) {
+	s := benchServer(10000, 60000)
+	w := &nullRW{h: make(http.Header)}
+	vs := []int32{4321}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.answerNeighbors(w, vs, true)
+	}
+}
+
+func benchBatchIDs(n, k int) []int32 {
+	rng := rand.New(rand.NewSource(11))
+	vs := make([]int32, k)
+	for i := range vs {
+		vs[i] = int32(rng.Intn(n))
+	}
+	return vs
+}
+
+func BenchmarkServeNeighborsBatch64EncodeLegacy(b *testing.B) {
+	s := benchServer(10000, 60000)
+	w := &nullRW{h: make(http.Header)}
+	vs := benchBatchIDs(10000, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		legacyAnswerNeighbors(s, w, vs, false)
+	}
+}
+
+func BenchmarkServeNeighborsBatch64EncodePooled(b *testing.B) {
+	s := benchServer(10000, 60000)
+	w := &nullRW{h: make(http.Header)}
+	vs := benchBatchIDs(10000, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.answerNeighbors(w, vs, false)
+	}
+}
+
+func BenchmarkServeHasEdgeEncodeLegacy(b *testing.B) {
+	s := benchServer(10000, 60000)
+	w := &nullRW{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		legacyHandleHasEdge(s, w, 17, 4321)
+	}
+}
+
+func BenchmarkServeHasEdgeEncodePooled(b *testing.B) {
+	s := benchServer(10000, 60000)
+	w := &nullRW{h: make(http.Header)}
+	view := s.view()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bp := acquireBuf()
+		buf := appendHasEdgeResult((*bp)[:0], 17, 4321, view.HasEdge(17, 4321))
+		s.setVersionHeader(w, view)
+		writeRawJSON(w, http.StatusOK, buf)
+		*bp = buf
+		releaseBuf(bp)
+	}
+}
+
+// End-to-end through the instrumented mux: includes routing, query
+// parsing, and per-endpoint metrics — the figure a client actually pays.
+func BenchmarkServeNeighborsGETEndToEnd(b *testing.B) {
+	s := benchServer(10000, 60000)
+	h := s.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/neighbors?v=4321", nil)
+	w := &nullRW{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+func BenchmarkServeBatchNeighborsBinary(b *testing.B) {
+	s := benchServer(10000, 60000)
+	h := s.Handler()
+	body := EncodeNeighborsRequest(benchBatchIDs(10000, 64))
+	w := &nullRW{h: make(http.Header)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/batch/neighbors", bytes.NewReader(body))
+		h.ServeHTTP(w, req)
+	}
+}
+
+// TestPooledEncodingAllocBudget is the regression tripwire behind the
+// benchmarks: the pooled single-neighbors response path must stay
+// allocation-free on the encoding side (the only allowed allocations
+// are http.Header.Set's value slice and pool warmup).
+func TestPooledEncodingAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race; the reuse bound only holds without it")
+	}
+	s := benchServer(1000, 6000)
+	w := &nullRW{h: make(http.Header)}
+	vs := []int32{123}
+	s.answerNeighbors(w, vs, true) // warm pools
+	avg := testing.AllocsPerRun(200, func() {
+		s.answerNeighbors(w, vs, true)
+	})
+	// Legacy path measures ~8+ allocs/op here; the pooled path must do
+	// strictly better than half of that, and in practice stays ≤2.
+	if avg > 2 {
+		t.Fatalf("pooled single-neighbors path allocates %.1f/op, budget 2", avg)
+	}
+}

@@ -1,0 +1,176 @@
+package serve
+
+// Per-endpoint serving metrics: request counters, error counters, and a
+// coarse log-bucketed latency histogram per route, reported by /stats
+// under serving.endpoints. This is what a load generator (cmd/loadgen)
+// sanity-checks its own accounting against, and the substrate a later
+// /metrics (Prometheus) endpoint will export.
+//
+// Latency buckets are powers of two in microseconds: bucket 0 counts
+// requests under 1µs, bucket k requests in [2^(k-1), 2^k) µs, and the
+// last bucket everything slower (~4.2s and beyond). The p50/p99
+// estimates are the upper bound of the bucket holding that rank —
+// coarse by design (at most 2× overestimate), cheap enough to sit on
+// every request.
+//
+// Requests shed by the admission limiter and panics are counted in the
+// serving section, not here: both are handled by middleware outside the
+// per-route mux.
+
+import (
+	"math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// epBuckets spans <1µs .. >=4.2s in powers of two.
+const epBuckets = 24
+
+type epStat struct {
+	route   string
+	count   atomic.Uint64
+	errors  atomic.Uint64 // responses with status >= 400
+	sumNs   atomic.Int64
+	buckets [epBuckets]atomic.Uint64
+}
+
+func (e *epStat) record(status int, d time.Duration) {
+	e.count.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.sumNs.Add(d.Nanoseconds())
+	us := d.Microseconds()
+	idx := bits.Len64(uint64(us))
+	if idx >= epBuckets {
+		idx = epBuckets - 1
+	}
+	e.buckets[idx].Add(1)
+}
+
+// quantileUS returns the upper bound (in µs) of the bucket containing
+// the q-quantile of the recorded latencies, from a snapshot of the
+// bucket counts.
+func quantileUS(counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return float64(uint64(1) << i) // upper bound of bucket i
+		}
+	}
+	return float64(uint64(1) << (epBuckets - 1))
+}
+
+// snapshot renders the endpoint's counters for /stats.
+func (e *epStat) snapshot() map[string]any {
+	counts := make([]uint64, epBuckets)
+	var total uint64
+	for i := range e.buckets {
+		counts[i] = e.buckets[i].Load()
+		total += counts[i]
+	}
+	out := map[string]any{
+		"count":  e.count.Load(),
+		"errors": e.errors.Load(),
+	}
+	if total > 0 {
+		out["mean_us"] = float64(e.sumNs.Load()) / float64(total) / 1e3
+		out["p50_us"] = quantileUS(counts, total, 0.50)
+		out["p99_us"] = quantileUS(counts, total, 0.99)
+		out["buckets_log2_us"] = counts
+	}
+	return out
+}
+
+// endpointMetrics holds one epStat per registered route. Routes are
+// registered once, when Handler builds the mux; per-request updates are
+// lock-free atomics.
+type endpointMetrics struct {
+	mu      sync.Mutex
+	stats   []*epStat // registration order
+	byRoute map[string]*epStat
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{byRoute: make(map[string]*epStat)}
+}
+
+func (m *endpointMetrics) stat(route string) *epStat {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.byRoute[route]; ok {
+		return st
+	}
+	st := &epStat{route: route}
+	m.byRoute[route] = st
+	m.stats = append(m.stats, st)
+	return st
+}
+
+// snapshot renders every route's counters keyed by route name.
+func (m *endpointMetrics) snapshot() map[string]any {
+	m.mu.Lock()
+	stats := m.stats
+	m.mu.Unlock()
+	out := make(map[string]any, len(stats))
+	for _, st := range stats {
+		out[st.route] = st.snapshot()
+	}
+	return out
+}
+
+// statusWriter captures the response status for the metrics middleware.
+// Pooled: the hot path must not pay an allocation for its own
+// observability.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+var swPool = sync.Pool{New: func() any { return &statusWriter{} }}
+
+// instrument wraps a route handler with per-endpoint accounting. A
+// handler that panics before writing is recorded as a 500 (the
+// recovered middleware outside the mux writes the actual response).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.eps.stat(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := swPool.Get().(*statusWriter)
+		sw.ResponseWriter, sw.status = w, 0
+		start := time.Now()
+		defer func() {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusInternalServerError
+			}
+			st.record(status, time.Since(start))
+			sw.ResponseWriter = nil
+			swPool.Put(sw)
+		}()
+		h(sw, r)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector is active; sync.Pool
+// deliberately drops items under -race, so pool-reuse allocation
+// assertions only hold without it.
+const raceEnabled = true

@@ -22,7 +22,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -74,7 +73,11 @@ type Server struct {
 
 	mu        sync.Mutex
 	prCache   map[prKey][]float64
-	prVersion uint64 // overlay version the cached vectors were computed at
+	prVersion uint64                                      // overlay version the cached vectors were computed at
+	prFlight  map[prFlightKey]*prCall                     // in-flight PageRank computations (miss coalescing)
+	prCompute func(View, float64, int) ([]float64, error) // test seam; nil = real computation
+
+	eps *endpointMetrics // per-endpoint request counters + latency buckets
 
 	adm     *admission             // nil = unbounded (no WithAdmission)
 	unready atomic.Pointer[string] // non-nil = explicit not-ready reason
@@ -100,9 +103,11 @@ type prKey struct {
 // New wraps a compiled summary in a read-only query server.
 func New(cs *model.CompiledSummary) *Server {
 	return &Server{
-		static:  model.NewOverlay(cs),
-		n:       cs.NumNodes(),
-		prCache: make(map[prKey][]float64),
+		static:   model.NewOverlay(cs),
+		n:        cs.NumNodes(),
+		prCache:  make(map[prKey][]float64),
+		prFlight: make(map[prFlightKey]*prCall),
+		eps:      newEndpointMetrics(),
 	}
 }
 
@@ -112,9 +117,11 @@ func New(cs *model.CompiledSummary) *Server {
 // additionally reports per-shard sizes.
 func NewSharded(sc *model.ShardedCompiled) *Server {
 	return &Server{
-		static:  sc,
-		n:       sc.NumNodes(),
-		prCache: make(map[prKey][]float64),
+		static:   sc,
+		n:        sc.NumNodes(),
+		prCache:  make(map[prKey][]float64),
+		prFlight: make(map[prFlightKey]*prCall),
+		eps:      newEndpointMetrics(),
 	}
 }
 
@@ -150,9 +157,11 @@ func NewShard(cs *model.CompiledSummary, info ShardInfo) *Server {
 // represented graph.
 func NewLive(l *model.Live) *Server {
 	return &Server{
-		live:    l,
-		n:       l.View().NumNodes(),
-		prCache: make(map[prKey][]float64),
+		live:     l,
+		n:        l.View().NumNodes(),
+		prCache:  make(map[prKey][]float64),
+		prFlight: make(map[prFlightKey]*prCall),
+		eps:      newEndpointMetrics(),
 	}
 }
 
@@ -259,17 +268,17 @@ func newSource(v View) (algos.NeighborSource, func(), error) {
 // serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /readyz", s.handleReadyz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /neighbors", s.handleNeighbors)
-	mux.HandleFunc("POST /neighbors", s.handleNeighborsPost)
-	mux.HandleFunc("POST /batch/neighbors", s.handleNeighborsBinary)
-	mux.HandleFunc("GET /hasedge", s.handleHasEdge)
-	mux.HandleFunc("GET /pagerank", s.handlePageRank)
-	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /healthz", s.instrument("GET /healthz", s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.instrument("GET /readyz", s.handleReadyz))
+	mux.HandleFunc("GET /stats", s.instrument("GET /stats", s.handleStats))
+	mux.HandleFunc("GET /neighbors", s.instrument("GET /neighbors", s.handleNeighbors))
+	mux.HandleFunc("POST /neighbors", s.instrument("POST /neighbors", s.handleNeighborsPost))
+	mux.HandleFunc("POST /batch/neighbors", s.instrument("POST /batch/neighbors", s.handleNeighborsBinary))
+	mux.HandleFunc("GET /hasedge", s.instrument("GET /hasedge", s.handleHasEdge))
+	mux.HandleFunc("GET /pagerank", s.instrument("GET /pagerank", s.handlePageRank))
+	mux.HandleFunc("POST /update", s.instrument("POST /update", s.handleUpdate))
 	if s.shard != nil {
-		mux.HandleFunc("GET /shardinfo", s.handleShardInfo)
+		mux.HandleFunc("GET /shardinfo", s.instrument("GET /shardinfo", s.handleShardInfo))
 	}
 	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
@@ -278,12 +287,6 @@ func (s *Server) Handler() http.Handler {
 		mux.ServeHTTP(w, r)
 	})
 	return s.recovered(s.admitted(inner))
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -369,6 +372,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"compaction_failures": ls.CompactionFailures,
 			"threshold":           ls.Threshold,
 			"compacting":          ls.Compacting,
+			"lock_hold_ns_total":  ls.LockHoldNs,
+			"lock_hold_ns_max":    ls.LockHoldMaxNs,
 		}
 		if ls.LastError != "" {
 			overlay["last_compaction_error"] = ls.LastError
@@ -422,8 +427,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["artifact"] = artifact
 	}
 	serving := map[string]any{
-		"ready":  s.unreadyReason() == "",
-		"panics": s.panics.Load(),
+		"ready":     s.unreadyReason() == "",
+		"panics":    s.panics.Load(),
+		"endpoints": s.eps.snapshot(),
 	}
 	if s.adm != nil {
 		serving["admitted"] = s.adm.admitted.Load()
@@ -442,22 +448,26 @@ type NeighborsResult struct {
 }
 
 func (s *Server) answerNeighbors(w http.ResponseWriter, vs []int32, single bool) {
-	results := make([]NeighborsResult, 0, len(vs))
 	view := s.view()
-	view.NeighborsBatch(vs, func(v int32, nbrs []int32) {
-		results = append(results, NeighborsResult{
-			V:         v,
-			Degree:    len(nbrs),
-			Neighbors: append([]int32{}, nbrs...),
-		})
-	})
-	s.setVersionHeader(w, view)
-	if single && len(results) == 1 {
-		writeJSON(w, http.StatusOK, results[0])
-		s.markFirstQuery()
-		return
+	// Hot path: append the response JSON directly from the pooled
+	// decompression buffers into a pooled response buffer — no
+	// intermediate result structs, no neighbor-slice copies, no
+	// reflection, and (via the pooled encoder's pre-bound visit
+	// closure) no per-request closure allocation. Byte-identical to the
+	// encoding/json output, pinned by TestFastJSONByteParity.
+	enc := acquireNbrEncoder()
+	asArray := !(single && len(vs) == 1)
+	if asArray {
+		enc.buf = append(enc.buf, '[')
 	}
-	writeJSON(w, http.StatusOK, results)
+	view.NeighborsBatch(vs, enc.visit)
+	if asArray {
+		enc.buf = append(enc.buf, ']')
+	}
+	enc.buf = append(enc.buf, '\n')
+	s.setVersionHeader(w, view)
+	writeRawJSON(w, http.StatusOK, enc.buf)
+	releaseNbrEncoder(enc)
 	s.markFirstQuery()
 }
 
@@ -523,15 +533,23 @@ func (s *Server) handleHasEdge(w http.ResponseWriter, r *http.Request) {
 	}
 	view := s.view()
 	s.setVersionHeader(w, view)
-	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "exists": view.HasEdge(u, v)})
+	bp := acquireBuf()
+	buf := appendHasEdgeResult((*bp)[:0], u, v, view.HasEdge(u, v))
+	writeRawJSON(w, http.StatusOK, buf)
+	*bp = buf
+	releaseBuf(bp)
 	s.markFirstQuery()
 }
 
 // handleNeighborsBinary is the compact binary batch form (wire.go) —
-// the federation fan-out hot path: no JSON encode or decode on either
-// side, one contiguous buffer per direction.
+// the high-QPS hot path, open on every server (not just shard roles):
+// no JSON encode or decode on either side, one contiguous pooled buffer
+// per direction.
 func (s *Server) handleNeighborsBinary(w http.ResponseWriter, r *http.Request) {
-	data, err := io.ReadAll(r.Body)
+	reqBuf := acquireBuf()
+	defer releaseBuf(reqBuf)
+	data, err := readAllInto((*reqBuf)[:0], r.Body)
+	*reqBuf = data[:0]
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -541,11 +559,14 @@ func (s *Server) handleNeighborsBinary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading request body: %v", err)
 		return
 	}
-	ids, err := DecodeNeighborsRequest(data, maxBatchItems)
+	idsBuf := acquireInt32s()
+	defer releaseInt32s(idsBuf)
+	ids, err := DecodeNeighborsRequestInto(*idsBuf, data, maxBatchItems)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	*idsBuf = ids[:0]
 	for _, v := range ids {
 		if err := s.checkVertex(int64(v)); err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
@@ -553,10 +574,13 @@ func (s *Server) handleNeighborsBinary(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	view := s.view()
-	buf := AppendNeighborsResponseHeader(make([]byte, 0, 16+8*len(ids)), len(ids))
+	respBuf := acquireBuf()
+	defer releaseBuf(respBuf)
+	buf := AppendNeighborsResponseHeader((*respBuf)[:0], len(ids))
 	view.NeighborsBatch(ids, func(_ int32, nbrs []int32) {
 		buf = AppendNeighborsResponseList(buf, nbrs)
 	})
+	*respBuf = buf[:0]
 	s.setVersionHeader(w, view)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(buf)
@@ -635,7 +659,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty update: send {u, v, delete} or {updates: [...]}")
 		return
 	}
-	applied, version, err := s.live.ApplyUpdatesVersioned(ups)
+	// One call, one writer-lock acquisition: the outcome carries the
+	// overlay counters of the snapshot the batch landed in, so the
+	// response does not need a second locked Stats() read (which
+	// contended with concurrent writers under update load).
+	out, err := s.live.ApplyUpdatesOutcome(ups)
 	if err != nil {
 		if errors.Is(err, model.ErrDurability) || errors.Is(err, model.ErrNoDurability) {
 			// The batch was rejected before publication: nothing was
@@ -651,17 +679,16 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// The version of the snapshot holding this batch: queries that carry
 	// a view at least this fresh observe every applied update (a batch
 	// of all no-ops lands in the current snapshot unchanged).
-	w.Header().Set("X-Summary-Version", strconv.FormatUint(version, 10))
-	ls := s.live.Stats()
+	w.Header().Set("X-Summary-Version", strconv.FormatUint(out.Version, 10))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"received": len(ups),
-		"applied":  applied,
-		"version":  version,
+		"applied":  out.Applied,
+		"version":  out.Version,
 		"overlay": map[string]any{
-			"insertions": ls.Insertions,
-			"deletions":  ls.Deletions,
-			"version":    ls.Version,
-			"compacting": ls.Compacting,
+			"insertions": out.Insertions,
+			"deletions":  out.Deletions,
+			"version":    out.Version,
+			"compacting": out.Compacting,
 		},
 	})
 }
@@ -677,38 +704,81 @@ type RankedVertex struct {
 // unbounded number of n-length rank vectors.
 const maxPRCacheEntries = 32
 
-// pageRank returns the cached PageRank vector for (d, t) on the given
-// snapshot. Cache entries are tied to the snapshot's overlay version:
-// any update or compaction bumps the version and invalidates the whole
-// cache. The power iteration runs outside the lock, so a cache miss
-// never blocks hits on other keys; concurrent first requests for one
-// key may compute it more than once, which is benign (identical
-// results, bounded work).
-func (s *Server) pageRank(view View, d float64, t int) ([]float64, error) {
-	key := prKey{d: d, t: t}
-	s.mu.Lock()
-	// Advance strictly monotonically: a slow request holding an older
-	// snapshot must neither clear a fresher cache nor install its stale
-	// vector (it just computes uncached).
-	if view.Version() > s.prVersion {
-		clear(s.prCache)
-		s.prVersion = view.Version()
+// prFlightKey identifies one in-flight PageRank computation: the
+// parameters plus the snapshot version they run against. Keying on the
+// version means a request holding a fresher snapshot never latches onto
+// a stale computation.
+type prFlightKey struct {
+	d       float64
+	t       int
+	version uint64
+}
+
+// prCall is one coalesced computation: the leader computes, followers
+// block on done and share the result.
+type prCall struct {
+	done chan struct{}
+	val  []float64
+	err  error
+}
+
+// computePageRank runs the actual power iteration (overridable in tests
+// to count and slow down computations).
+func (s *Server) computePageRank(view View, d float64, t int) ([]float64, error) {
+	if s.prCompute != nil {
+		return s.prCompute(view, d, t)
 	}
-	if s.prVersion == view.Version() {
-		if r, ok := s.prCache[key]; ok {
-			s.mu.Unlock()
-			return r, nil
-		}
-	}
-	s.mu.Unlock()
 	src, release, err := newSource(view)
 	if err != nil {
 		return nil, err
 	}
 	r := algos.PageRank(src, d, t)
 	release()
+	return r, nil
+}
+
+// pageRank returns the cached PageRank vector for (d, t) on the given
+// snapshot. Cache entries are tied to the snapshot's overlay version:
+// any update or compaction bumps the version and invalidates the whole
+// cache. The power iteration runs outside the lock, so a cache miss
+// never blocks hits on other keys — and concurrent misses for the same
+// (d, t, version) are coalesced into a single computation
+// (singleflight): under update-driven version churn a thundering herd
+// of /pagerank requests costs one power iteration, not one per request.
+func (s *Server) pageRank(view View, d float64, t int) ([]float64, error) {
+	key := prKey{d: d, t: t}
+	ver := view.Version()
 	s.mu.Lock()
-	if s.prVersion == view.Version() {
+	// Advance strictly monotonically: a slow request holding an older
+	// snapshot must neither clear a fresher cache nor install its stale
+	// vector (it just computes uncached).
+	if ver > s.prVersion {
+		clear(s.prCache)
+		s.prVersion = ver
+	}
+	if s.prVersion == ver {
+		if r, ok := s.prCache[key]; ok {
+			s.mu.Unlock()
+			return r, nil
+		}
+	}
+	fk := prFlightKey{d: d, t: t, version: ver}
+	if c, ok := s.prFlight[fk]; ok {
+		// Follower: someone is already computing exactly this vector on a
+		// same-version snapshot. Wait for it instead of recomputing.
+		s.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &prCall{done: make(chan struct{})}
+	s.prFlight[fk] = c
+	s.mu.Unlock()
+
+	c.val, c.err = s.computePageRank(view, d, t)
+
+	s.mu.Lock()
+	delete(s.prFlight, fk)
+	if c.err == nil && s.prVersion == ver {
 		if len(s.prCache) >= maxPRCacheEntries {
 			// Evict an arbitrary entry; the common workload reuses one or
 			// two (d, t) pairs and never reaches the cap.
@@ -717,10 +787,11 @@ func (s *Server) pageRank(view View, d float64, t int) ([]float64, error) {
 				break
 			}
 		}
-		s.prCache[key] = r
+		s.prCache[key] = c.val
 	}
 	s.mu.Unlock()
-	return r, nil
+	close(c.done)
+	return c.val, c.err
 }
 
 func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {

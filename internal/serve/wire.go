@@ -42,6 +42,13 @@ func EncodeNeighborsRequest(ids []int32) []byte {
 // item cap. Every id is validated to be a non-negative int32; vertex
 // range checking against the served model is the caller's job.
 func DecodeNeighborsRequest(data []byte, maxItems int) ([]int32, error) {
+	return DecodeNeighborsRequestInto(nil, data, maxItems)
+}
+
+// DecodeNeighborsRequestInto is DecodeNeighborsRequest decoding into
+// dst's capacity (the serving hot path reuses pooled slices across
+// requests instead of allocating per batch).
+func DecodeNeighborsRequestInto(dst []int32, data []byte, maxItems int) ([]int32, error) {
 	if len(data) < 8 || string(data[:4]) != batchReqMagic {
 		return nil, fmt.Errorf("bad batch request framing")
 	}
@@ -52,7 +59,12 @@ func DecodeNeighborsRequest(data []byte, maxItems int) ([]int32, error) {
 	if uint64(len(data)) != 8+4*uint64(count) {
 		return nil, fmt.Errorf("batch request length %d does not match count %d", len(data), count)
 	}
-	ids := make([]int32, count)
+	ids := dst[:0]
+	if cap(ids) < int(count) {
+		ids = make([]int32, count)
+	} else {
+		ids = ids[:count]
+	}
 	for i := range ids {
 		raw := binary.LittleEndian.Uint32(data[8+4*i:])
 		if raw > 1<<31-1 {

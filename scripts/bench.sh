@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs the repo's perf-tracking benchmarks and records the results as
-# BENCH_<n>.json (default BENCH_8.json), seeding the perf trajectory
+# BENCH_<n>.json (default BENCH_10.json), seeding the perf trajectory
 # across PRs. Usage:
 #
 #   scripts/bench.sh [output.json]
@@ -22,10 +22,15 @@
 #                   (default 10x; each op is a full boot-to-first-query)
 #   BENCHTIME_FED   go-test benchtime for the network-federation pairs
 #                   (default 30x; each federated op crosses loopback HTTP)
+#   BENCHTIME_SERVE go-test benchtime for the serving hot-path encoding
+#                   pairs (default 20000x; pure in-process encode cost)
+#   BENCHTIME_LIVE  go-test benchtime for the contended live-apply
+#                   benchmark (default 500x; one op = a 16-update batch
+#                   under concurrent lock-free readers)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_8.json}
+OUT=${1:-BENCH_10.json}
 E2E=${BENCHTIME_E2E:-3x}
 MICRO=${BENCHTIME_MICRO:-5000x}
 QUERY=${BENCHTIME_QUERY:-20000x}
@@ -35,6 +40,8 @@ SHARD=${BENCHTIME_SHARD:-3x}
 WAL=${BENCHTIME_WAL:-2000x}
 BOOT=${BENCHTIME_BOOT:-10x}
 FED=${BENCHTIME_FED:-30x}
+SERVE=${BENCHTIME_SERVE:-20000x}
+LIVE=${BENCHTIME_LIVE:-500x}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -84,6 +91,18 @@ echo "== network federation: scatter-gather vs in-process twin (benchtime=$FED) 
 go test -run '^$' -bench 'BenchmarkFederated' -benchmem \
   -benchtime "$FED" -timeout 20m ./internal/fed | tee "$TMP/fed.txt"
 
+echo "== serving hot path: legacy encoding/json vs pooled append encoding (benchtime=$SERVE) =="
+go test -run '^$' -bench 'BenchmarkServe' -benchmem \
+  -benchtime "$SERVE" -timeout 20m ./internal/serve | tee "$TMP/serve.txt"
+
+echo "== live apply under read contention: writer lock hold time (benchtime=$LIVE) =="
+go test -run '^$' -bench 'BenchmarkLiveApplyContended|BenchmarkLiveApplyValidationOnly' -benchmem \
+  -benchtime "$LIVE" -timeout 20m ./internal/model | tee "$TMP/livelock.txt"
+
+echo "== sustained load: open-loop mixed workload, throughput-vs-latency curve (benchtime=1x) =="
+go test -run '^$' -bench 'BenchmarkLoadgenMixed' \
+  -benchtime 1x -timeout 30m ./internal/loadgen | tee "$TMP/loadgen.txt"
+
 python3 - "$TMP" "$OUT" <<'PYEOF'
 import json, re, subprocess, sys, datetime, os
 
@@ -92,7 +111,7 @@ line_re = re.compile(
     r'^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$')
 
 benches = []
-for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt", "boot.txt", "fed.txt"):
+for fname in ("e2e.txt", "micro.txt", "query.txt", "api.txt", "update.txt", "shard.txt", "wal.txt", "boot.txt", "fed.txt", "serve.txt", "livelock.txt", "loadgen.txt"):
     for line in open(os.path.join(tmp, fname)):
         m = line_re.match(line.strip())
         if not m:
@@ -166,7 +185,29 @@ doc = {
              "the power iteration per op (the federated side gathers the "
              "adjacency over the network once and iterates locally, so it "
              "can legitimately beat the in-process twin, which re-decodes "
-             "neighbor lists from the compressed model every iteration)."),
+             "neighbor lists from the compressed model every iteration). "
+             "BenchmarkServe*EncodeLegacy vs BenchmarkServe*EncodePooled "
+             "are the serving hot-path pairs (PR-10): each pair renders "
+             "the identical response — bytes pinned equal by "
+             "TestFastJSONByteParity — through the old reflection-driven "
+             "encoding/json path and the pooled append-style encoder; the "
+             "acceptance bar is >=50% fewer allocs/op on the pooled side "
+             "(measured: single 7->2, 64-batch 70->2, hasedge 12->2). "
+             "BenchmarkLiveApplyContended (one op = a 16-update batch, "
+             "sub-benchmarks with 0 and 4 concurrent lock-free readers) "
+             "reports lock-hold-ns/op, the time each apply holds the "
+             "writer mutex — update validation runs before the lock, "
+             "priced separately by BenchmarkLiveApplyValidationOnly. "
+             "BenchmarkLoadgenMixed/rate=R is the sustained-load curve: "
+             "an open-loop, coordinated-omission-safe mixed workload "
+             "(zipfian point+batch neighbors over JSON and the binary "
+             "wire, hasedge, pagerank, concurrent updates; fixed seed) "
+             "against an in-process server at offered rates 500/2000/8000 "
+             "req/s; metrics are achieved qps and p50/p99/p999 measured "
+             "from each request's scheduled start, so queueing during "
+             "server slowdowns counts as latency. sched-lag-max-ns is the "
+             "generator's own worst backlog — if it rivals the p999, "
+             "distrust the tail and lower the rate or add workers."),
     "seed_baseline": {
         "comment": ("construction numbers measured on the seed implementation "
                     "(pre parallel pipeline / pooling); query numbers measured "
